@@ -1,0 +1,197 @@
+package ivm
+
+// This file is the public facade of the library: downstream users
+// import the module root (the internal/ packages are implementation).
+// It re-exports the analytic model, the memory-system simulator, the
+// X-MP machine model and the figure reproductions through aliases and
+// thin constructors, so the examples under examples/ translate directly
+// to external code.
+
+import (
+	"ivm/internal/core"
+	"ivm/internal/explain"
+	"ivm/internal/figures"
+	"ivm/internal/machine"
+	"ivm/internal/memsys"
+	"ivm/internal/rat"
+	"ivm/internal/skew"
+	"ivm/internal/stream"
+	"ivm/internal/trace"
+	"ivm/internal/xmp"
+)
+
+// --- Exact arithmetic --------------------------------------------------
+
+// Rational is an exact fraction; effective bandwidths are reported in
+// this form (3/2 means exactly 3/2).
+type Rational = rat.Rational
+
+// NewRational returns num/den in lowest terms.
+func NewRational(num, den int64) Rational { return rat.New(num, den) }
+
+// --- Analytic model (Theorems 1–9, Eqs. 29–32) -------------------------
+
+// Analysis is the analytic verdict on a pair of access streams.
+type Analysis = core.Analysis
+
+// Regime names the conflict regime a stream pair falls into.
+type Regime = core.Regime
+
+// Conflict regimes, in decreasing order of achievable bandwidth.
+const (
+	RegimeConflictFree    = core.RegimeConflictFree
+	RegimeDisjointFree    = core.RegimeDisjointFree
+	RegimeUniqueBarrier   = core.RegimeUniqueBarrier
+	RegimeBarrierPossible = core.RegimeBarrierPossible
+	RegimeConflicting     = core.RegimeConflicting
+	RegimeSelfConflict    = core.RegimeSelfConflict
+)
+
+// Analyze classifies two infinite access streams with distances d1, d2
+// on an m-way interleaved memory with bank busy time nc (s = m; stream
+// 1 holds the fixed priority).
+func Analyze(m, nc, d1, d2 int) Analysis { return core.Analyze(m, nc, d1, d2) }
+
+// ReturnNumber is Theorem 1: r = m / gcd(m, d).
+func ReturnNumber(m, d int) int { return core.ReturnNumber(m, d) }
+
+// SingleStreamBandwidth is the one-stream law b_eff = min(1, r/nc).
+func SingleStreamBandwidth(m, nc, d int) Rational {
+	return core.SingleStreamBandwidth(m, nc, d)
+}
+
+// ConflictFreeCondition is Theorem 3's Eq. 12.
+func ConflictFreeCondition(m, nc, d1, d2 int) bool {
+	return core.ConflictFreeCondition(m, nc, d1, d2)
+}
+
+// BarrierBandwidth is Eq. 29: b_eff = 1 + d1/d2 for a barrier.
+func BarrierBandwidth(d1, d2 int) Rational { return core.BarrierBandwidth(d1, d2) }
+
+// SaturationBound is the §IV capacity bound min(p, m/nc).
+func SaturationBound(m, nc, p int) Rational { return core.SaturationBound(m, nc, p) }
+
+// ConflictFreeAt is Eq. 8, the exact per-start criterion: the two
+// free-running streams never collide.
+func ConflictFreeAt(m, nc, b1, d1, b2, d2 int) bool {
+	return core.PairConflictFreeAt(m, nc, b1, d1, b2, d2)
+}
+
+// PairIsomorphic reports the Appendix equivalence of distance pairs.
+func PairIsomorphic(m, d1, d2, e1, e2 int) bool {
+	return stream.PairIsomorphic(m, d1, d2, e1, e2)
+}
+
+// --- Memory-system simulator -------------------------------------------
+
+// MemConfig configures a simulated memory system (banks, sections,
+// bank busy time, CPUs, priority rule, section mapping).
+type MemConfig = memsys.Config
+
+// System is a running cycle-accurate memory simulation.
+type System = memsys.System
+
+// Cycle is a detected cyclic steady state with exact bandwidth.
+type Cycle = memsys.Cycle
+
+// StreamSpec names an infinite bank-space stream (start, distance, CPU).
+type StreamSpec = memsys.StreamSpec
+
+// Port is one access port with its conflict counters.
+type Port = memsys.Port
+
+// Section mappings and priority rules.
+const (
+	CyclicSections      = memsys.CyclicSections
+	ConsecutiveSections = memsys.ConsecutiveSections
+	FixedPriority       = memsys.FixedPriority
+	CyclicPriority      = memsys.CyclicPriority
+)
+
+// NewSystem creates a memory system with plain modulo interleaving.
+func NewSystem(cfg MemConfig) *System { return memsys.New(cfg) }
+
+// NewSkewedSystem creates a memory system whose banks are linearly
+// skewed (the conclusion's remedy): bank(i) = (i + s*floor(i/m)) mod m.
+func NewSkewedSystem(cfg MemConfig, skewStep int) *System {
+	return memsys.NewWithMapper(cfg, skew.Linear{M: cfg.Banks, S: skewStep})
+}
+
+// InfiniteStream returns a source issuing addr, addr+stride, … forever.
+func InfiniteStream(addr, stride int64) memsys.Source {
+	return memsys.NewInfiniteStrided(addr, stride)
+}
+
+// FiniteStream returns a source issuing n equally spaced requests.
+func FiniteStream(addr, stride int64, n int) memsys.Source {
+	return memsys.NewStrided(addr, stride, n)
+}
+
+// SteadyBandwidth builds a system from stream specs, detects the cyclic
+// state and returns its exact b_eff.
+func SteadyBandwidth(cfg MemConfig, maxClocks int64, specs ...StreamSpec) (Rational, error) {
+	return memsys.SteadyBandwidth(cfg, maxClocks, specs...)
+}
+
+// Timeline runs the specs for the given clocks and renders the
+// paper-style bank × clock diagram.
+func Timeline(cfg MemConfig, clocks int64, specs ...StreamSpec) string {
+	sys := memsys.New(cfg)
+	rec := trace.Attach(sys, 0, clocks)
+	for i, sp := range specs {
+		label := sp.Label
+		if label == "" {
+			label = string(rune('1' + i%9))
+		}
+		sys.AddPort(sp.CPU, label, memsys.NewInfiniteStrided(int64(sp.Start), int64(sp.Distance)))
+	}
+	sys.Run(clocks)
+	if s := cfg.Sections; s != 0 && s != cfg.Banks {
+		return rec.RenderWithSections(sys.Section)
+	}
+	return rec.Render()
+}
+
+// --- Machine model and the Fig. 10 experiment --------------------------
+
+// MachineConfig sets the vector CPU's timing parameters.
+type MachineConfig = machine.Config
+
+// DefaultMachine returns Cray X-MP-flavoured parameters.
+func DefaultMachine() MachineConfig { return machine.DefaultConfig() }
+
+// TriadResult is one point of the Fig. 10 series.
+type TriadResult = xmp.TriadResult
+
+// XMPMemConfig is the paper's 16-bank, 4-section, n_c = 4, 2-CPU memory.
+func XMPMemConfig() MemConfig { return xmp.MemConfig() }
+
+// TriadExperiment runs the §IV triad for one increment; background
+// selects whether the other CPU saturates memory at distance 1.
+func TriadExperiment(inc, n int, background bool, cfg MachineConfig) TriadResult {
+	return xmp.TriadExperiment(inc, n, background, cfg)
+}
+
+// TriadSweep reproduces Fig. 10 for INC = 1..maxInc.
+func TriadSweep(maxInc, n int, background bool, cfg MachineConfig) []TriadResult {
+	return xmp.TriadSweep(maxInc, n, background, cfg)
+}
+
+// TriadVerdict returns the §IV pairwise reasoning for one triad
+// increment against the d=1 environment: the isomorphic canonical pair,
+// the regime, and — for barriers — whether the triad wins.
+func TriadVerdict(inc int) (canonical [2]int, regime Regime, triadWins, isBarrier bool) {
+	v := explain.TriadReport(inc).Verdicts[0]
+	return v.Canonical, v.Analysis.Regime, v.WorkWins, v.HasRole
+}
+
+// --- Figures ------------------------------------------------------------
+
+// Figure is one of the paper's executable worked examples.
+type Figure = figures.Figure
+
+// Figures returns executable reproductions of Figures 2–9.
+func Figures() []Figure { return figures.All() }
+
+// FigureByID returns one figure ("2" … "9", "8a", "8b").
+func FigureByID(id string) (Figure, error) { return figures.ByID(id) }

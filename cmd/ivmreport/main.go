@@ -1,0 +1,28 @@
+// Command ivmreport regenerates the complete reproduction record in
+// one run: Figures 2–9 steady states against the paper's values, the
+// full-grid analytic-vs-simulation agreement, the Fig. 10 triad series
+// with the per-increment analytic verdict, and the ablation summaries.
+// Its output is the machine-generated counterpart of EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ivm/internal/report"
+)
+
+func main() {
+	fast := flag.Bool("fast", false, "shrink the expensive sweeps")
+	flag.Parse()
+
+	opts := report.Defaults()
+	if *fast {
+		opts = report.Fast()
+	}
+	if err := report.Write(os.Stdout, opts); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

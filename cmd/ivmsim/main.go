@@ -1,0 +1,152 @@
+// Command ivmsim runs an ad-hoc interleaved-memory simulation: choose
+// the system (m, s, n_c, priority, mapping) and up to nine access
+// streams "start:distance[:cpu]", get the paper-style timeline, the
+// steady-state effective bandwidth and the conflict breakdown.
+//
+// Example (Fig. 3's barrier):
+//
+//	ivmsim -m 13 -nc 6 -streams 0:1,0:6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ivm/internal/core"
+	"ivm/internal/memsys"
+	"ivm/internal/stats"
+	"ivm/internal/textplot"
+	"ivm/internal/trace"
+)
+
+func main() {
+	m := flag.Int("m", 16, "number of banks")
+	s := flag.Int("s", 0, "number of sections (0 = one per bank)")
+	nc := flag.Int("nc", 4, "bank busy time in clock periods")
+	cpus := flag.Int("cpus", 2, "number of CPUs (path groups)")
+	streamsFlag := flag.String("streams", "0:1,0:6", "comma-separated streams start:distance[:cpu]")
+	clocks := flag.Int64("clocks", 40, "timeline width in clock periods")
+	priority := flag.String("priority", "fixed", "priority rule: fixed|cyclic")
+	mapping := flag.String("mapping", "cyclic", "bank-to-section mapping: cyclic|consecutive")
+	analyze := flag.Bool("analyze", true, "print the analytic verdict for two-stream runs")
+	statsFlag := flag.Bool("stats", false, "print per-bank utilisation and delay-run statistics")
+	statsClocks := flag.Int64("statsclocks", 2048, "clocks to gather statistics over")
+	flag.Parse()
+
+	cfg := memsys.Config{Banks: *m, Sections: *s, BankBusy: *nc, CPUs: *cpus}
+	switch *priority {
+	case "fixed":
+		cfg.Priority = memsys.FixedPriority
+	case "cyclic":
+		cfg.Priority = memsys.CyclicPriority
+	default:
+		fail("unknown priority %q", *priority)
+	}
+	switch *mapping {
+	case "cyclic":
+		cfg.Mapping = memsys.CyclicSections
+	case "consecutive":
+		cfg.Mapping = memsys.ConsecutiveSections
+	default:
+		fail("unknown mapping %q", *mapping)
+	}
+	if err := cfg.Validate(); err != nil {
+		fail("%v", err)
+	}
+
+	specs, err := parseStreams(*streamsFlag, *m, *cpus)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	sys := memsys.New(cfg)
+	rec := trace.Attach(sys, 0, *clocks)
+	for i, sp := range specs {
+		sys.AddPort(sp.CPU, fmt.Sprintf("%d", i+1), memsys.NewInfiniteStrided(int64(sp.Start), int64(sp.Distance)))
+	}
+	sys.Run(*clocks)
+	if *s != 0 && *s != *m {
+		fmt.Print(rec.RenderWithSections(sys.Section))
+	} else {
+		fmt.Print(rec.Render())
+	}
+	fmt.Println(trace.Legend())
+	fmt.Println()
+
+	// Fresh system for exact steady-state measurement.
+	sys2 := memsys.New(cfg)
+	for i, sp := range specs {
+		sys2.AddPort(sp.CPU, fmt.Sprintf("%d", i+1), memsys.NewInfiniteStrided(int64(sp.Start), int64(sp.Distance)))
+	}
+	cyc, err := sys2.FindCycle(1 << 22)
+	if err != nil {
+		fail("cycle detection: %v", err)
+	}
+	fmt.Printf("steady state: b_eff = %s (cycle length %d, lead-in %d)\n\n", cyc.EffectiveBandwidth(), cyc.Length, cyc.Lead)
+	tbl := &textplot.Table{Header: []string{"stream", "start", "distance", "cpu", "b_eff", "bank", "simult", "section"}}
+	for i, sp := range specs {
+		c := cyc.Conflicts[i]
+		tbl.Add(i+1, sp.Start, sp.Distance, sp.CPU, cyc.PortBandwidth(i).String(), c.Bank, c.Simultaneous, c.Section)
+	}
+	fmt.Print(tbl.String())
+
+	if *analyze && len(specs) == 2 && (*s == 0 || *s == *m) {
+		a := core.Analyze(*m, *nc, specs[0].Distance, specs[1].Distance)
+		fmt.Printf("\nanalytic verdict: %s\n%s\n", a, a.Note)
+	}
+
+	if *statsFlag {
+		sys3 := memsys.New(cfg)
+		col := stats.Attach(sys3)
+		for i, sp := range specs {
+			sys3.AddPort(sp.CPU, fmt.Sprintf("%d", i+1), memsys.NewInfiniteStrided(int64(sp.Start), int64(sp.Distance)))
+		}
+		sys3.Run(*statsClocks)
+		fmt.Printf("\nstatistics over %d clocks:\n%s", *statsClocks, col.Report())
+		for i := range specs {
+			if runs := col.DelayRunLengths(i); len(runs) > 0 {
+				fmt.Printf("stream %d delay-run lengths: %v\n", i+1, runs)
+			}
+		}
+	}
+}
+
+func parseStreams(flagVal string, m, cpus int) ([]memsys.StreamSpec, error) {
+	var specs []memsys.StreamSpec
+	for i, part := range strings.Split(flagVal, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("stream %d: want start:distance[:cpu], got %q", i+1, part)
+		}
+		start, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("stream %d start: %v", i+1, err)
+		}
+		dist, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("stream %d distance: %v", i+1, err)
+		}
+		cpu := i % cpus
+		if len(fields) == 3 {
+			if cpu, err = strconv.Atoi(fields[2]); err != nil {
+				return nil, fmt.Errorf("stream %d cpu: %v", i+1, err)
+			}
+			if cpu < 0 || cpu >= cpus {
+				return nil, fmt.Errorf("stream %d cpu %d out of range [0,%d)", i+1, cpu, cpus)
+			}
+		}
+		specs = append(specs, memsys.StreamSpec{Start: start % m, Distance: dist % m, CPU: cpu})
+	}
+	if len(specs) == 0 || len(specs) > 9 {
+		return nil, fmt.Errorf("need 1..9 streams, got %d", len(specs))
+	}
+	return specs, nil
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

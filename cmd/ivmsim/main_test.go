@@ -1,0 +1,57 @@
+package main
+
+import "testing"
+
+func TestParseStreams(t *testing.T) {
+	specs, err := parseStreams("0:1,3:7:1", 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("len = %d", len(specs))
+	}
+	if specs[0].Start != 0 || specs[0].Distance != 1 || specs[0].CPU != 0 {
+		t.Fatalf("spec 0 = %+v", specs[0])
+	}
+	if specs[1].Start != 3 || specs[1].Distance != 7 || specs[1].CPU != 1 {
+		t.Fatalf("spec 1 = %+v", specs[1])
+	}
+}
+
+func TestParseStreamsDefaultsCPURoundRobin(t *testing.T) {
+	specs, err := parseStreams("0:1,1:1,2:1", 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].CPU != 0 || specs[1].CPU != 1 || specs[2].CPU != 0 {
+		t.Fatalf("CPUs = %d,%d,%d", specs[0].CPU, specs[1].CPU, specs[2].CPU)
+	}
+}
+
+func TestParseStreamsReducesModuloM(t *testing.T) {
+	specs, err := parseStreams("17:18", 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].Start != 1 || specs[0].Distance != 2 {
+		t.Fatalf("spec = %+v", specs[0])
+	}
+}
+
+func TestParseStreamsErrors(t *testing.T) {
+	cases := []string{
+		"",        // no fields
+		"1",       // missing distance
+		"a:1",     // bad start
+		"1:b",     // bad distance
+		"1:2:x",   // bad cpu
+		"1:2:5",   // cpu out of range
+		"1:2:0:9", // too many fields
+		"1:1,1:1,1:1,1:1,1:1,1:1,1:1,1:1,1:1,1:1", // too many streams
+	}
+	for _, c := range cases {
+		if _, err := parseStreams(c, 16, 2); err == nil {
+			t.Errorf("parseStreams(%q): expected error", c)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+// Package ivm reproduces Oed & Lange, "On the Effective Bandwidth of
+// Interleaved Memories in Vector Processor Systems", IEEE Transactions
+// on Computers C-34(10), 1985.
+//
+// The repository contains:
+//
+//   - internal/core — the paper's analytic model (Theorems 1–9,
+//     Eqs. 29–32) and a conflict-regime classifier;
+//   - internal/memsys — a cycle-accurate simulator of the banked,
+//     sectioned memory system with the paper's conflict taxonomy;
+//   - internal/machine, internal/vector, internal/workload,
+//     internal/xmp — a Cray X-MP-flavoured vector CPU model and the
+//     Section IV triad experiment;
+//   - internal/figures, internal/trace — executable reproductions of
+//     Figures 2–9 with paper-style timeline rendering;
+//   - internal/skew — the conclusion's skewing-scheme remedy;
+//   - internal/sweep — the analytic-vs-simulated cross-validation
+//     harness.
+//
+// The benchmarks in bench_test.go regenerate every figure of the
+// paper's evaluation; see EXPERIMENTS.md for the paper-vs-measured
+// record and DESIGN.md for the per-experiment index.
+package ivm

@@ -1,0 +1,44 @@
+// Interference: both CPUs run the triad concurrently at different
+// strides — the multi-vector-processor scenario the paper's conclusion
+// warns about ("all efforts may be in vain in case of multivector-
+// processor systems like the Cray X-MP where barrier-situations may
+// easily be encountered"). The matrix of CPU-0 execution times shows
+// which stride pairings coexist and which barrier each other.
+//
+//	go run ./examples/interference
+package main
+
+import (
+	"fmt"
+
+	"ivm/internal/explain"
+	"ivm/internal/machine"
+	"ivm/internal/xmp"
+)
+
+func main() {
+	cfg := machine.DefaultConfig()
+	const maxInc, n = 8, 256
+
+	fmt.Printf("triad-vs-triad interference, CPU-0 clocks (n=%d):\n\n", n)
+	m := xmp.InterferenceMatrix(maxInc, n, cfg)
+	fmt.Print(xmp.RenderInterference(m))
+
+	fmt.Println("\npairwise analytic verdicts for the first row (CPU-0 at INC=1):")
+	for incB := 1; incB <= maxInc; incB++ {
+		r := explain.Analyze(16, 4,
+			explain.Workload{Name: "cpu0", Distances: []int{1}},
+			explain.Workload{Name: "cpu1", Distances: []int{incB % 16}},
+		)
+		v := r.Verdicts[0]
+		role := ""
+		if v.HasRole {
+			if v.WorkWins {
+				role = " — cpu0 wins the barrier"
+			} else {
+				role = " — cpu0 is delayed"
+			}
+		}
+		fmt.Printf("  vs INC=%d: %s%s\n", incB, v.Analysis.Regime, role)
+	}
+}

@@ -1,0 +1,57 @@
+// Skewing: the remedy the paper's conclusion recommends for hostile
+// strides. Compare plain interleaving against linear and XOR skewing
+// schemes over the strides a Fortran programmer actually produces
+// (unit stride, matrix rows, power-of-two leading dimensions).
+//
+//	go run ./examples/skewing
+package main
+
+import (
+	"fmt"
+
+	"ivm/internal/memsys"
+	"ivm/internal/skew"
+	"ivm/internal/textplot"
+	"ivm/internal/vector"
+)
+
+func main() {
+	const m, nc = 16, 4
+	xorScheme, err := skew.NewXOR(m, 1)
+	if err != nil {
+		panic(err)
+	}
+	mappers := []struct {
+		name string
+		mp   memsys.BankMapper
+	}{
+		{"plain  j=i mod m", skew.Identity{M: m}},
+		{"linear skew S=1", skew.Linear{M: m, S: 1}},
+		{"xor skew", xorScheme},
+	}
+
+	// The conclusion's motivating case: a 64x64 Fortran matrix accessed
+	// by rows has stride 64 — distance 0 on 16 banks. "A safe method is
+	// to choose the dimension of arrays so that they are relatively
+	// prime to the number of banks."
+	bad := &vector.Array{Name: "BAD(64,64)", Dims: []int{64, 64}}
+	good := &vector.Array{Name: "GOOD(65,64)", Dims: []int{65, 64}}
+	fmt.Printf("row-access distance, 16 banks: %s -> %d, %s -> %d\n\n",
+		bad.Name, vector.Distance(1, bad, 1, m), good.Name, vector.Distance(1, good, 1, m))
+
+	strides := []int64{1, 2, 4, 8, 16, 32, 64, 65}
+	tbl := &textplot.Table{Header: []string{"stride", mappers[0].name, mappers[1].name, mappers[2].name}}
+	for _, st := range strides {
+		row := []interface{}{st}
+		for _, mp := range mappers {
+			bw := skew.StrideBandwidth(mp.mp, nc, st, 4096)
+			row = append(row, fmt.Sprintf("%.3f", bw))
+		}
+		tbl.Add(row...)
+	}
+	fmt.Println("single-stream effective bandwidth by word stride:")
+	fmt.Print(tbl.String())
+	fmt.Println("\nlinear skewing repairs every power-of-two stride up to m; the")
+	fmt.Println("matrix-row case (stride 64) runs at 1/n_c unskewed and at full")
+	fmt.Println("speed skewed — without changing the Fortran declaration.")
+}

@@ -1,0 +1,3 @@
+module ivm
+
+go 1.22

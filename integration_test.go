@@ -1,0 +1,89 @@
+package ivm
+
+// End-to-end regression pins: the exact simulator outputs recorded in
+// EXPERIMENTS.md. The simulation is fully deterministic, so these
+// values are stable; an intentional change to the machine model or the
+// arbitration semantics must update them (and EXPERIMENTS.md) together.
+
+import (
+	"testing"
+
+	"ivm/internal/figures"
+	"ivm/internal/machine"
+	"ivm/internal/rat"
+	"ivm/internal/xmp"
+)
+
+func TestPinnedFigureBandwidths(t *testing.T) {
+	want := map[string]rat.Rational{
+		"2":  rat.New(2, 1),
+		"3":  rat.New(7, 6),
+		"4":  rat.New(1, 1),
+		"5":  rat.New(4, 3),
+		"6":  rat.New(7, 5),
+		"7":  rat.New(2, 1),
+		"8a": rat.New(3, 2),
+		"8b": rat.New(2, 1),
+		"9":  rat.New(2, 1),
+	}
+	for _, f := range figures.All() {
+		bw, _, err := f.SteadyBandwidth()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bw.Equal(want[f.ID]) {
+			t.Errorf("Fig. %s: b_eff = %s, pinned %s", f.ID, bw, want[f.ID])
+		}
+	}
+}
+
+// The triad series at n = 512, busy environment — the numbers behind
+// the Fig. 10 shape discussion (scaled EXPERIMENTS.md table).
+func TestPinnedTriadSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full triad sweep")
+	}
+	wantClocks := []int64{
+		1263, 2081, 2438, 1865, 1703, 1317, 1783, 2615,
+		1541, 1658, 1145, 1579, 2067, 2114, 1934, 5172,
+	}
+	res := xmp.TriadSweep(16, 512, true, machine.DefaultConfig())
+	for i, r := range res {
+		if r.Clocks != wantClocks[i] {
+			t.Errorf("INC=%d: clocks = %d, pinned %d", r.INC, r.Clocks, wantClocks[i])
+		}
+	}
+}
+
+// The qualitative findings of Section IV at full length (n = 1024).
+func TestSectionIVFindingsFullLength(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-length triad sweep")
+	}
+	res := xmp.TriadSweep(16, 1024, true, machine.DefaultConfig())
+	at := func(inc int) int64 { return res[inc-1].Clocks }
+	// Best three: 1, 6, 11.
+	for _, best := range []int{1, 6, 11} {
+		for inc := 1; inc <= 16; inc++ {
+			if inc == 1 || inc == 6 || inc == 11 {
+				continue
+			}
+			if at(best) >= at(inc) {
+				t.Errorf("INC=%d (%d) should beat INC=%d (%d)", best, at(best), inc, at(inc))
+			}
+		}
+	}
+	// Barrier penalties and ordering.
+	if !(at(3) > at(2) && at(2) > at(1)) {
+		t.Errorf("INC ordering: %d, %d, %d", at(1), at(2), at(3))
+	}
+	// INC=2 penalty in the +40..+110% band around the paper's ~+50%,
+	// INC=3 in +60..+150% around ~+100%.
+	pct := func(inc int) float64 { return float64(at(inc)-at(1)) / float64(at(1)) * 100 }
+	if p := pct(2); p < 40 || p > 110 {
+		t.Errorf("INC=2 penalty %.0f%%, expected barrier-scale slowdown", p)
+	}
+	if p := pct(3); p < 60 || p > 150 {
+		t.Errorf("INC=3 penalty %.0f%%, expected barrier-scale slowdown", p)
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"ivm/internal/rat"
+	"ivm/internal/stream"
+)
+
+// Section IV observes that with six active ports "access conflicts are
+// bound to occur since 6·n_c = 24 > 16, i.e., 16 banks are not
+// sufficient to support all access requests in parallel". This file
+// generalises that counting argument to upper bounds on the aggregate
+// effective bandwidth of p concurrent streams. The bounds are exact
+// capacity limits (every grant occupies a bank for n_c clocks and a
+// per-CPU section path for one clock), so the simulator can never
+// exceed them; tests check both the inequality and tightness on the
+// paper's example.
+
+// SaturationBound is the coarse port/bank bound for p always-busy
+// streams on an m-bank memory with bank busy time n_c:
+//
+//	b_eff <= min(p, m/n_c).
+func SaturationBound(m, nc, p int) rat.Rational {
+	checkParams(m, nc)
+	if p < 0 {
+		panic(fmt.Sprintf("core: negative port count %d", p))
+	}
+	banks := rat.New(int64(m), int64(nc))
+	ports := rat.FromInt(int64(p))
+	if ports.Cmp(banks) <= 0 {
+		return ports
+	}
+	return banks
+}
+
+// PortsSaturate reports the paper's "conflicts are bound to occur"
+// condition: p·n_c > m.
+func PortsSaturate(m, nc, p int) bool {
+	checkParams(m, nc)
+	return p*nc > m
+}
+
+// StreamSet describes one concurrent stream for MultiStreamBound.
+type StreamSet struct {
+	Stream stream.Stream
+	CPU    int
+}
+
+// MultiStreamBound returns the tightest of several exact capacity
+// bounds on the aggregate steady-state bandwidth of the given streams
+// against an (m, s, n_c) memory (s = 0 means one section per bank):
+//
+//  1. the port bound: one request per stream per clock;
+//  2. the per-stream self-conflict bound sum_i min(1, r_i/n_c);
+//  3. the bank-capacity bound |union of access sets| / n_c — every
+//     touched bank serves at most one grant per n_c clocks;
+//  4. per-bank demand: a bank shared by k streams... subsumed by 3 for
+//     the aggregate; and
+//  5. the path bound: a CPU with q ports into s sections is granted at
+//     most min(q, s) requests per clock.
+func MultiStreamBound(m, s, nc int, sets []StreamSet) rat.Rational {
+	checkParams(m, nc)
+	if s == 0 {
+		s = m
+	}
+	if s <= 0 || m%s != 0 {
+		panic(fmt.Sprintf("core: sections %d must divide banks %d", s, m))
+	}
+
+	// 1. port bound and 2. self-conflict bound.
+	selfBound := rat.Zero()
+	for _, st := range sets {
+		if st.Stream.Banks != m {
+			panic(fmt.Sprintf("core: stream %v uses %d banks, system has %d", st.Stream, st.Stream.Banks, m))
+		}
+		selfBound = selfBound.Add(SingleStreamBandwidth(m, nc, st.Stream.Distance))
+	}
+
+	// 3. bank-capacity bound over the union of access sets.
+	touched := make(map[int]bool)
+	for _, st := range sets {
+		for _, b := range st.Stream.AccessSet() {
+			touched[b] = true
+		}
+	}
+	bankBound := rat.New(int64(len(touched)), int64(nc))
+
+	// 5. path bound per CPU.
+	perCPU := make(map[int]int)
+	for _, st := range sets {
+		perCPU[st.CPU]++
+	}
+	pathTotal := 0
+	for _, q := range perCPU {
+		if q < s {
+			pathTotal += q
+		} else {
+			pathTotal += s
+		}
+	}
+	pathBound := rat.FromInt(int64(pathTotal))
+
+	best := selfBound
+	for _, b := range []rat.Rational{bankBound, pathBound} {
+		if b.Cmp(best) < 0 {
+			best = b
+		}
+	}
+	return best
+}

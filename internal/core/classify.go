@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"ivm/internal/modmath"
+	"ivm/internal/rat"
+	"ivm/internal/stream"
+)
+
+// Regime is the conflict regime the analytic model predicts for a pair
+// of access streams on a sectionless (s = m) memory system.
+type Regime int
+
+const (
+	// RegimeSelfConflict: at least one stream has r < n_c and delays
+	// itself at its start bank; the two-stream theorems do not apply.
+	RegimeSelfConflict Regime = iota
+	// RegimeConflictFree: Theorem 3 holds; the pair synchronises into a
+	// conflict-free cycle from any relative start (b_eff = 2).
+	RegimeConflictFree
+	// RegimeDisjointFree: Theorem 2 (gcd(m, d1, d2) > 1); start banks
+	// with disjoint access sets exist and give b_eff = 2, but other
+	// starts may conflict.
+	RegimeDisjointFree
+	// RegimeUniqueBarrier: Theorems 4+6/7; a barrier-situation is
+	// reached from every relative start, b_eff = 1 + d1/d2 (Eq. 29,
+	// canonical distances).
+	RegimeUniqueBarrier
+	// RegimeBarrierPossible: Theorem 4 holds but the barrier is not
+	// unique — depending on the relative start the pair may fall into a
+	// barrier (either orientation) or another conflicting cycle.
+	RegimeBarrierPossible
+	// RegimeConflicting: none of the closed forms applies; the pair
+	// conflicts and the cyclic-state bandwidth comes from simulation.
+	RegimeConflicting
+)
+
+func (r Regime) String() string {
+	switch r {
+	case RegimeSelfConflict:
+		return "self-conflict"
+	case RegimeConflictFree:
+		return "conflict-free"
+	case RegimeDisjointFree:
+		return "disjoint-free"
+	case RegimeUniqueBarrier:
+		return "unique-barrier"
+	case RegimeBarrierPossible:
+		return "barrier-possible"
+	case RegimeConflicting:
+		return "conflicting"
+	default:
+		return fmt.Sprintf("Regime(%d)", int(r))
+	}
+}
+
+// Analysis is the analytic model's verdict on a pair of infinite access
+// streams (s = m, one stream per CPU: bank and simultaneous bank
+// conflicts only).
+type Analysis struct {
+	M, NC  int
+	D1, D2 int // inputs reduced modulo m
+	R1, R2 int // return numbers (Theorem 1)
+	F      int // gcd(m, d1, d2)
+
+	// Canonical position after the Appendix isomorphism: CD1 | m,
+	// CD2 >= CD1; Swapped reports that the stream roles were exchanged
+	// to get there (the barrier then delays the *first* input stream).
+	CD1, CD2 int
+	Swapped  bool
+
+	Regime Regime
+	// Bandwidth is the predicted b_eff. For RegimeConflictFree,
+	// RegimeDisjointFree and RegimeUniqueBarrier it is the cyclic-state
+	// bandwidth (for DisjointFree: under the constructed starts); for
+	// RegimeBarrierPossible it is the barrier's bandwidth when a
+	// barrier is entered. Zero when HasBandwidth is false.
+	Bandwidth    rat.Rational
+	HasBandwidth bool
+	// StartIndependent reports that the predicted bandwidth holds for
+	// every relative starting position (Theorem 3's synchronisation,
+	// or a unique barrier).
+	StartIndependent bool
+	Note             string
+}
+
+// Analyze classifies a pair of infinite streams with distances d1, d2
+// on an m-way interleaved, sectionless memory with bank busy time n_c.
+func Analyze(m, nc, d1, d2 int) Analysis {
+	checkParams(m, nc)
+	d1, d2 = modmath.Mod(d1, m), modmath.Mod(d2, m)
+	a := Analysis{
+		M: m, NC: nc, D1: d1, D2: d2,
+		R1: ReturnNumber(m, d1), R2: ReturnNumber(m, d2),
+	}
+	a.F = modmath.GCD3(m, d1, d2)
+	if a.F == 0 {
+		a.F = m
+	}
+	cd1, cd2, _, swapped := stream.CanonicalPair(m, d1, d2)
+	a.CD1, a.CD2, a.Swapped = cd1, cd2, swapped
+
+	if a.R1 < nc || a.R2 < nc {
+		a.Regime = RegimeSelfConflict
+		a.Note = "a stream with r < n_c self-conflicts; two-stream theorems assume r1, r2 >= n_c"
+		return a
+	}
+	if ConflictFreeCondition(m, nc, d1, d2) {
+		a.Regime = RegimeConflictFree
+		a.Bandwidth = rat.New(2, 1)
+		a.HasBandwidth = true
+		a.StartIndependent = true
+		a.Note = "Theorem 3: gcd(m/f,(d2-d1)/f) >= 2*n_c; synchronisation from any start"
+		return a
+	}
+	if DisjointPossible(m, d1, d2) {
+		a.Regime = RegimeDisjointFree
+		a.Bandwidth = rat.New(2, 1)
+		a.HasBandwidth = true
+		a.Note = "Theorem 2: gcd(m,d1,d2) > 1; consecutive start banks give disjoint access sets"
+		return a
+	}
+
+	// Barrier analysis over all canonical representations of the pair
+	// (Theorems 4–7 give sufficient conditions per representation).
+	// Stream 1 is assumed to hold the fixed priority, matching the
+	// simulator's port order, which enables Theorem 7's Eq. 28 for
+	// representations where stream 1 plays the d1 role.
+	v := AnalyzeBarrier(m, nc, d1, d2, Stream1Priority)
+	if v.Possible {
+		a.CD1, a.CD2 = v.Witness.D1, v.Witness.D2
+		a.Bandwidth = v.Bandwidth
+		a.HasBandwidth = true
+		if v.Unique {
+			a.Regime = RegimeUniqueBarrier
+			a.StartIndependent = true
+			a.Note = "Theorems 4+6/7: unique barrier-situation, Eq. 29"
+		} else {
+			a.Regime = RegimeBarrierPossible
+			a.Note = "Theorem 4: barrier exists for suitable starts; orientation/start dependent"
+		}
+		return a
+	}
+	a.Regime = RegimeConflicting
+	a.Note = "no closed form; cyclic-state bandwidth from simulation"
+	return a
+}
+
+// String summarises the analysis in one line.
+func (a Analysis) String() string {
+	bw := "-"
+	if a.HasBandwidth {
+		bw = a.Bandwidth.String()
+	}
+	return fmt.Sprintf("m=%d nc=%d d1=%d d2=%d (canonical %d(+)%d) r1=%d r2=%d f=%d: %s b_eff=%s",
+		a.M, a.NC, a.D1, a.D2, a.CD1, a.CD2, a.R1, a.R2, a.F, a.Regime, bw)
+}

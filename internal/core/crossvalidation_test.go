@@ -1,0 +1,296 @@
+package core
+
+// Cross-validation of the analytic model (Theorems 1-7, Eq. 29) against
+// the cycle-accurate simulator: every claim the paper proves is checked
+// against the cyclic steady state memsys finds, sweeping parameters and
+// all relative starting positions.
+
+import (
+	"testing"
+
+	"ivm/internal/memsys"
+	"ivm/internal/rat"
+	"ivm/internal/stream"
+)
+
+func simPair(t *testing.T, m, nc, b1, d1, b2, d2 int) memsys.Cycle {
+	t.Helper()
+	sys := memsys.New(memsys.Config{Banks: m, BankBusy: nc, CPUs: 2})
+	sys.AddPort(0, "1", memsys.NewInfiniteStrided(int64(b1), int64(d1)))
+	sys.AddPort(1, "2", memsys.NewInfiniteStrided(int64(b2), int64(d2)))
+	c, err := sys.FindCycle(1 << 21)
+	if err != nil {
+		t.Fatalf("m=%d nc=%d (%d+%d,%d+%d): %v", m, nc, b1, d1, b2, d2, err)
+	}
+	return c
+}
+
+// Section III-A: simulated single-stream bandwidth equals
+// min(1, r/n_c) for every (m, n_c, d).
+func TestSingleStreamBandwidthMatchesSimulation(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 4, 6, 8, 12, 13, 16} {
+		for nc := 1; nc <= 6; nc++ {
+			for d := 0; d < m; d++ {
+				sys := memsys.New(memsys.Config{Banks: m, BankBusy: nc})
+				sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, int64(d)))
+				c, err := sys.FindCycle(1 << 16)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := SingleStreamBandwidth(m, nc, d)
+				if got := c.EffectiveBandwidth(); !got.Equal(want) {
+					t.Errorf("m=%d nc=%d d=%d: sim %s, analytic %s", m, nc, d, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Theorem 3 + synchronisation: when Eq. 12 holds (and neither stream
+// self-conflicts), the pair reaches b_eff = 2 from EVERY relative
+// starting position.
+func TestTheorem3SynchronisationMatchesSimulation(t *testing.T) {
+	two := rat.New(2, 1)
+	for _, m := range []int{8, 12, 13, 16} {
+		for _, nc := range []int{2, 3, 4} {
+			for d1 := 0; d1 < m; d1++ {
+				if ReturnNumber(m, d1) < nc {
+					continue
+				}
+				for d2 := d1; d2 < m; d2++ {
+					if ReturnNumber(m, d2) < nc {
+						continue
+					}
+					if !ConflictFreeCondition(m, nc, d1, d2) {
+						continue
+					}
+					for b2 := 0; b2 < m; b2++ {
+						c := simPair(t, m, nc, 0, d1, b2, d2)
+						if got := c.EffectiveBandwidth(); !got.Equal(two) {
+							t.Fatalf("m=%d nc=%d d1=%d d2=%d b2=%d: b_eff = %s, Theorem 3 promises 2",
+								m, nc, d1, d2, b2, got)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Theorem 3 converse: when Eq. 12 fails, every relative start with
+// nondisjoint access sets yields a conflicting cycle (b_eff < 2).
+func TestTheorem3ConverseMatchesSimulation(t *testing.T) {
+	two := rat.New(2, 1)
+	for _, m := range []int{8, 12, 13, 16} {
+		for _, nc := range []int{2, 3, 4} {
+			for d1 := 0; d1 < m; d1++ {
+				if ReturnNumber(m, d1) < nc {
+					continue
+				}
+				for d2 := d1; d2 < m; d2++ {
+					if ReturnNumber(m, d2) < nc {
+						continue
+					}
+					if ConflictFreeCondition(m, nc, d1, d2) {
+						continue
+					}
+					s1 := stream.Infinite(m, 0, d1)
+					for b2 := 0; b2 < m; b2++ {
+						if stream.Disjoint(s1, stream.Infinite(m, b2, d2)) {
+							continue
+						}
+						c := simPair(t, m, nc, 0, d1, b2, d2)
+						if got := c.EffectiveBandwidth(); got.Equal(two) {
+							t.Fatalf("m=%d nc=%d d1=%d d2=%d b2=%d: conflict-free despite Eq. 12 failing",
+								m, nc, d1, d2, b2)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Theorem 2's constructed starts always run conflict free (disjoint
+// access sets can never collide on a bank), provided neither stream
+// self-conflicts.
+func TestDisjointStartsConflictFreeInSimulation(t *testing.T) {
+	two := rat.New(2, 1)
+	for _, m := range []int{8, 12, 16, 18} {
+		for _, nc := range []int{2, 3} {
+			for d1 := 0; d1 < m; d1++ {
+				if ReturnNumber(m, d1) < nc {
+					continue
+				}
+				for d2 := d1; d2 < m; d2++ {
+					if ReturnNumber(m, d2) < nc {
+						continue
+					}
+					b1, b2, ok := DisjointStarts(m, d1, d2)
+					if !ok {
+						continue
+					}
+					c := simPair(t, m, nc, b1, d1, b2, d2)
+					if got := c.EffectiveBandwidth(); !got.Equal(two) {
+						t.Fatalf("m=%d nc=%d d1=%d d2=%d: disjoint starts gave b_eff = %s",
+							m, nc, d1, d2, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Unique barrier (Theorems 4+6/7): the predicted Eq. 29 bandwidth holds
+// from every relative starting position.
+func TestUniqueBarrierMatchesSimulationFromAllStarts(t *testing.T) {
+	for _, m := range []int{8, 12, 13, 16, 20} {
+		for _, nc := range []int{2, 3, 4} {
+			for d1 := 1; d1 < m; d1++ {
+				for d2 := d1 + 1; d2 < m; d2++ {
+					a := Analyze(m, nc, d1, d2)
+					if a.Regime != RegimeUniqueBarrier {
+						continue
+					}
+					for b2 := 0; b2 < m; b2++ {
+						c := simPair(t, m, nc, 0, d1, b2, d2)
+						if got := c.EffectiveBandwidth(); !got.Equal(a.Bandwidth) {
+							t.Fatalf("m=%d nc=%d d1=%d d2=%d b2=%d: b_eff = %s, Eq. 29 predicts %s (witness %v)",
+								m, nc, d1, d2, b2, got, a.Bandwidth, [2]int{a.CD1, a.CD2})
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Theorem 4: when a barrier is possible, some relative start realises a
+// true barrier-situation: one stream conflict free, the other delayed,
+// with Eq. 29's bandwidth.
+func TestBarrierPossibleRealisedForSomeStart(t *testing.T) {
+	for _, m := range []int{12, 13, 16} {
+		for _, nc := range []int{2, 3, 4} {
+			for d1 := 1; d1 < m; d1++ {
+				for d2 := d1 + 1; d2 < m; d2++ {
+					a := Analyze(m, nc, d1, d2)
+					if a.Regime != RegimeBarrierPossible && a.Regime != RegimeUniqueBarrier {
+						continue
+					}
+					found := false
+					for b2 := 0; b2 < m && !found; b2++ {
+						c := simPair(t, m, nc, 0, d1, b2, d2)
+						d0 := c.Conflicts[0].Delays()
+						d1c := c.Conflicts[1].Delays()
+						barrier := (d0 == 0) != (d1c == 0) // exactly one stream delayed
+						if barrier && c.EffectiveBandwidth().Equal(a.Bandwidth) {
+							found = true
+						}
+					}
+					if !found {
+						t.Errorf("m=%d nc=%d d1=%d d2=%d: no start realises the predicted barrier (%s)",
+							m, nc, d1, d2, a.Bandwidth)
+					}
+				}
+			}
+		}
+	}
+}
+
+// delayClockSet runs the pair for `clocks` clock periods and returns,
+// per clock, how many ports were delayed in that clock. A "double
+// conflict" in the paper's sense is a clock period where mutual delays
+// appear, i.e. both streams are delayed in the same clock (Fig. 4).
+func delaysPerClock(m, nc, b1, d1, b2, d2 int, clocks int64) []int {
+	sys := memsys.New(memsys.Config{Banks: m, BankBusy: nc, CPUs: 2})
+	counts := make([]int, clocks)
+	sys.SetListener(listenerFunc(func(e memsys.Event) {
+		if e.Kind != memsys.NoConflict && e.Clock < clocks {
+			counts[e.Clock]++
+		}
+	}))
+	sys.AddPort(0, "1", memsys.NewInfiniteStrided(int64(b1), int64(d1)))
+	sys.AddPort(1, "2", memsys.NewInfiniteStrided(int64(b2), int64(d2)))
+	sys.Run(clocks)
+	return counts
+}
+
+type listenerFunc func(memsys.Event)
+
+func (f listenerFunc) Observe(e memsys.Event) { f(e) }
+
+func hasMutualDelayClock(counts []int) bool {
+	for _, c := range counts {
+		if c >= 2 {
+			return true
+		}
+	}
+	return false
+}
+
+// Theorem 5: when (n_c - 1)(d2 + d1) < m (canonical position), no
+// clock period ever sees both streams delayed at once ("double
+// conflict"), whatever the relative start.
+func TestTheorem5NoDoubleConflictInSimulation(t *testing.T) {
+	for _, m := range []int{12, 13, 16, 20} {
+		for _, nc := range []int{2, 3, 4} {
+			for d1 := 1; d1 < m; d1++ {
+				if m%d1 != 0 {
+					continue
+				}
+				for d2 := d1 + 1; d2 < m; d2++ {
+					ok, err := NoDoubleConflict(m, nc, d1, d2)
+					if err != nil || !ok {
+						continue
+					}
+					for b2 := 0; b2 < m; b2++ {
+						counts := delaysPerClock(m, nc, 0, d1, b2, d2, int64(8*m*nc+64))
+						if hasMutualDelayClock(counts) {
+							t.Fatalf("m=%d nc=%d d1=%d d2=%d b2=%d: same-clock mutual delays despite Theorem 5",
+								m, nc, d1, d2, b2)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// The double conflict of Fig. 4 exists: Theorem 5's guard fails for
+// m=13, nc=6, d1=1, d2=6, and b2=1 indeed yields clock periods where
+// both streams are delayed at once.
+func TestFig4DoubleConflictExists(t *testing.T) {
+	counts := delaysPerClock(13, 6, 0, 1, 1, 6, 600)
+	if !hasMutualDelayClock(counts) {
+		t.Fatal("expected same-clock mutual delays in Fig. 4's configuration")
+	}
+	// And the cycle's conflict counters show both streams delayed.
+	c := simPair(t, 13, 6, 0, 1, 1, 6)
+	if c.Conflicts[0].Delays() == 0 || c.Conflicts[1].Delays() == 0 {
+		t.Fatalf("expected mutual delays, got %+v / %+v", c.Conflicts[0], c.Conflicts[1])
+	}
+}
+
+// Eq. 29 consistency: whenever two canonical representations of the
+// same pair both claim a barrier, the simulator decides; the unique-
+// barrier witness must agree with the simulated bandwidth (checked
+// above), and the analysis bandwidth must always be < 2 and > 1.
+func TestBarrierBandwidthRange(t *testing.T) {
+	one, two := rat.One(), rat.New(2, 1)
+	for _, m := range []int{12, 13, 16, 24} {
+		for _, nc := range []int{2, 3, 4} {
+			for d1 := 1; d1 < m; d1++ {
+				for d2 := d1 + 1; d2 < m; d2++ {
+					v := AnalyzeBarrier(m, nc, d1, d2, Stream1Priority)
+					if !v.Possible {
+						continue
+					}
+					if v.Bandwidth.Cmp(one) <= 0 || v.Bandwidth.Cmp(two) >= 0 {
+						t.Fatalf("m=%d nc=%d (%d,%d): barrier bandwidth %s out of (1,2)",
+							m, nc, d1, d2, v.Bandwidth)
+					}
+				}
+			}
+		}
+	}
+}

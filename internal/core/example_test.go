@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"fmt"
+
+	"ivm/internal/core"
+)
+
+// The paper's Fig. 2 parameters: Theorem 3 certifies conflict-freeness
+// and the synchronisation property makes it hold from any start.
+func ExampleAnalyze() {
+	a := core.Analyze(12, 3, 1, 7)
+	fmt.Println(a.Regime, a.Bandwidth, a.StartIndependent)
+	// Output: conflict-free 2 true
+}
+
+// A unit-stride loop against a stride-2 loop on the X-MP: a unique
+// barrier-situation with Eq. 29's bandwidth.
+func ExampleAnalyze_barrier() {
+	a := core.Analyze(16, 4, 1, 2)
+	fmt.Println(a.Regime, a.Bandwidth)
+	// Output: unique-barrier 3/2
+}
+
+func ExampleReturnNumber() {
+	// Theorem 1: r = m / gcd(m, d).
+	fmt.Println(core.ReturnNumber(16, 6), core.ReturnNumber(16, 8))
+	// Output: 8 2
+}
+
+func ExampleSingleStreamBandwidth() {
+	// Stride 8 on 16 banks revisits its bank after r = 2 accesses,
+	// faster than the n_c = 4 clock bank cycle: b_eff = r/n_c.
+	fmt.Println(core.SingleStreamBandwidth(16, 4, 8))
+	// Output: 1/2
+}
+
+func ExampleBarrierBandwidth() {
+	// Eq. 29 for the Fig. 3 barrier (d1 = 1, d2 = 6).
+	fmt.Println(core.BarrierBandwidth(1, 6))
+	// Output: 7/6
+}
+
+func ExampleSaturationBound() {
+	// Section IV: six ports against 16 banks with n_c = 4 saturate at
+	// the bank capacity m/n_c.
+	fmt.Println(core.SaturationBound(16, 4, 6), core.PortsSaturate(16, 4, 6))
+	// Output: 4 true
+}
+
+func ExampleDisjointPossible() {
+	// Theorem 2: even distances on 16 banks can be kept on disjoint
+	// bank sets by adjacent start banks.
+	fmt.Println(core.DisjointPossible(16, 2, 4), core.DisjointPossible(16, 1, 2))
+	// Output: true false
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"ivm/internal/modmath"
+	"ivm/internal/rat"
+)
+
+// Eq. 8 is the paper's exact pointwise criterion: two streams with
+// given start banks are conflict free iff for every k the n_c-windows
+//
+//	{b1 + k·d1, …, b1 + (k+n_c-1)·d1}  and
+//	{b2 + k·d2, …, b2 + (k+n_c-1)·d2}   (mod m)
+//
+// are disjoint — a bank accessed by one stream is busy for n_c clocks,
+// during which the other stream walks n_c banks of its own. This file
+// implements Eq. 8 directly (it needs only lcm(r1, r2) values of k) and
+// derives per-start predictions from it, giving the model a per-start
+// resolution the closed-form theorems summarise.
+
+// PairConflictFreeAt evaluates Eq. 8: whether the free-running patterns
+// from the given start banks never collide. This is stronger than
+// "reaches a conflict-free cycle" — synchronisation (Theorem 3) can
+// repair colliding starts — and exactly characterises runs with zero
+// conflicts from clock 0.
+func PairConflictFreeAt(m, nc, b1, d1, b2, d2 int) bool {
+	checkParams(m, nc)
+	d1, d2 = modmath.Mod(d1, m), modmath.Mod(d2, m)
+	b1, b2 = modmath.Mod(b1, m), modmath.Mod(b2, m)
+	r1 := ReturnNumber(m, d1)
+	r2 := ReturnNumber(m, d2)
+	period := modmath.LCM(r1, r2)
+	// Window-disjointness for k and k+period is identical; checking one
+	// period of k suffices. The window condition compares positions
+	// j in [k, k+nc): collision iff b1 + i·d1 = b2 + j·d2 (mod m) with
+	// |i - j| < nc, i, j >= 0. Scanning k over a period with the two
+	// windows is equivalent.
+	for k := 0; k < period; k++ {
+		w1 := make(map[int]bool, nc)
+		for t := 0; t < nc; t++ {
+			w1[modmath.Mod(b1+(k+t)*d1, m)] = true
+		}
+		for t := 0; t < nc; t++ {
+			if w1[modmath.Mod(b2+(k+t)*d2, m)] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ConflictFreeOffsets returns every relative start offset b2 (with
+// b1 = 0) for which Eq. 8 holds — the complete set of placements whose
+// free-running patterns never collide. Empty when no such offset
+// exists (then only synchronisation, if Theorem 3 applies, can still
+// yield a conflict-free cycle).
+func ConflictFreeOffsets(m, nc, d1, d2 int) []int {
+	var out []int
+	for b2 := 0; b2 < m; b2++ {
+		if PairConflictFreeAt(m, nc, 0, d1, b2, d2) {
+			out = append(out, b2)
+		}
+	}
+	return out
+}
+
+// PredictPair is the per-start refinement of Analyze: given concrete
+// start banks it reports, where the model can, the exact cyclic-state
+// bandwidth.
+type PairPrediction struct {
+	// Exact is true when the model pins the bandwidth analytically.
+	Exact     bool
+	Bandwidth rat.Rational
+	Reason    string
+}
+
+// PredictPairAt combines the pointwise Eq. 8 test with the global
+// theorems for a per-start verdict:
+//
+//   - Eq. 8 holds at (b1, b2): conflict free, b_eff = 2;
+//   - Theorem 3's condition holds: synchronisation, b_eff = 2;
+//   - disjoint access sets and (Theorem 8 logic with s = m degenerate)
+//     — covered by Eq. 8 already;
+//   - a unique barrier: b_eff = 1 + d1'/d2';
+//   - otherwise: not pinned (simulate).
+func PredictPairAt(m, nc, b1, d1, b2, d2 int) PairPrediction {
+	if r := ReturnNumber(m, d1); r < nc {
+		return PairPrediction{Reason: fmt.Sprintf("stream 1 self-conflicts (r=%d < n_c)", r)}
+	}
+	if r := ReturnNumber(m, d2); r < nc {
+		return PairPrediction{Reason: fmt.Sprintf("stream 2 self-conflicts (r=%d < n_c)", r)}
+	}
+	if PairConflictFreeAt(m, nc, b1, d1, b2, d2) {
+		return PairPrediction{Exact: true, Bandwidth: rat.New(2, 1), Reason: "Eq. 8 holds at these starts"}
+	}
+	if ConflictFreeCondition(m, nc, d1, d2) {
+		return PairPrediction{Exact: true, Bandwidth: rat.New(2, 1), Reason: "Theorem 3 synchronisation"}
+	}
+	v := AnalyzeBarrier(m, nc, d1, d2, Stream1Priority)
+	if v.Possible && v.Unique {
+		return PairPrediction{Exact: true, Bandwidth: v.Bandwidth, Reason: "unique barrier (Theorems 4+6/7)"}
+	}
+	return PairPrediction{Reason: "start-dependent conflicting state; simulate"}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ivm/internal/rat"
+)
+
+// Property: the classifier is total and internally consistent for any
+// input — regimes carry the bandwidth fields they promise, canonical
+// distances stay in range, the return numbers match Theorem 1.
+func TestPropertyAnalyzeTotal(t *testing.T) {
+	f := func(mRaw, ncRaw, d1Raw, d2Raw uint8) bool {
+		m := int(mRaw%48) + 1
+		nc := int(ncRaw%8) + 1
+		d1 := int(d1Raw)
+		d2 := int(d2Raw)
+		a := Analyze(m, nc, d1, d2)
+		if a.M != m || a.NC != nc {
+			return false
+		}
+		if a.D1 < 0 || a.D1 >= m || a.D2 < 0 || a.D2 >= m {
+			return false
+		}
+		if a.R1 != ReturnNumber(m, d1) || a.R2 != ReturnNumber(m, d2) {
+			return false
+		}
+		switch a.Regime {
+		case RegimeConflictFree, RegimeDisjointFree:
+			if !a.HasBandwidth || !a.Bandwidth.Equal(rat.New(2, 1)) {
+				return false
+			}
+		case RegimeUniqueBarrier:
+			if !a.HasBandwidth || !a.StartIndependent {
+				return false
+			}
+			if a.Bandwidth.Cmp(rat.One()) <= 0 || a.Bandwidth.Cmp(rat.New(2, 1)) >= 0 {
+				return false
+			}
+		case RegimeBarrierPossible:
+			if !a.HasBandwidth || a.StartIndependent {
+				return false
+			}
+		case RegimeSelfConflict, RegimeConflicting:
+			if a.Regime == RegimeSelfConflict && a.HasBandwidth {
+				return false
+			}
+		}
+		return a.Note != ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every representation returned by Representations is a
+// genuine isomorphic image of the pair with d1' | m.
+func TestPropertyRepresentationsValid(t *testing.T) {
+	f := func(mRaw, d1Raw, d2Raw uint8) bool {
+		m := int(mRaw%24) + 2
+		d1 := int(d1Raw) % m
+		d2 := int(d2Raw) % m
+		for _, rep := range Representations(m, d1, d2) {
+			if rep.D1 <= 0 || m%rep.D1 != 0 || rep.D2 <= rep.D1 {
+				return false
+			}
+			// The image must be isomorphic to the original pair.
+			found := false
+			for k := 1; k < max(m, 2); k++ {
+				if gcdInt(k, m) != 1 {
+					continue
+				}
+				a, b := k*d1%m, k*d2%m
+				if (a == rep.D1 && b == rep.D2) || (a == rep.D2 && b == rep.D1) {
+					found = true
+					break
+				}
+			}
+			if !found && m > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func gcdInt(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Property: SaturationBound is monotone in p and bounded by m/nc.
+func TestPropertySaturationBoundMonotone(t *testing.T) {
+	f := func(mRaw, ncRaw uint8) bool {
+		m := int(mRaw%32) + 1
+		nc := int(ncRaw%6) + 1
+		prev := rat.Zero()
+		for p := 0; p <= 10; p++ {
+			b := SaturationBound(m, nc, p)
+			if b.Cmp(prev) < 0 {
+				return false
+			}
+			if b.Cmp(rat.New(int64(m), int64(nc))) > 0 {
+				return false
+			}
+			prev = b
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BarrierBandwidth lies strictly between 1 and 2 for
+// 0 < d1 < d2 and is monotone in d1/d2.
+func TestPropertyBarrierBandwidthRange(t *testing.T) {
+	f := func(d1Raw, d2Raw uint8) bool {
+		d1 := int(d1Raw%100) + 1
+		d2 := d1 + int(d2Raw%100) + 1
+		bw := BarrierBandwidth(d1, d2)
+		return bw.Cmp(rat.One()) > 0 && bw.Cmp(rat.New(2, 1)) < 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

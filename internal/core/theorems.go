@@ -1,0 +1,310 @@
+// Package core implements the analytical model of Oed & Lange (1985):
+// closed-form conditions for conflict-free access, barrier-situations,
+// double conflicts and the resulting effective bandwidth of one and two
+// vector-mode access streams against an m-way interleaved memory with
+// bank cycle time n_c (Theorems 1–9, Eqs. 29–32), plus a classifier
+// that predicts the conflict regime of a stream pair.
+//
+// Conventions follow the paper: distances are taken modulo m,
+// gcd(x, 0) = x, and the two-stream theorems assume the canonical
+// position d1 | m reached via the Appendix's isomorphism
+// d1 (+) d2 == k·d1 (+) k·d2 (mod m) for units k of Z_m.
+package core
+
+import (
+	"fmt"
+
+	"ivm/internal/modmath"
+	"ivm/internal/rat"
+	"ivm/internal/stream"
+)
+
+// ReturnNumber is Theorem 1: r = m / gcd(m, d), the number of accesses
+// made before the same bank is requested again.
+func ReturnNumber(m, d int) int { return stream.ReturnNumber(m, d) }
+
+// SingleStreamBandwidth is the Section III-A result: one access stream
+// has b_eff = 1 when r >= n_c and b_eff = r/n_c when r < n_c (the
+// stream self-conflicts at its start bank and r requests are serviced
+// every n_c clocks).
+func SingleStreamBandwidth(m, nc, d int) rat.Rational {
+	checkParams(m, nc)
+	r := ReturnNumber(m, d)
+	if r >= nc {
+		return rat.One()
+	}
+	return rat.New(int64(r), int64(nc))
+}
+
+func checkParams(m, nc int) {
+	if m <= 0 || nc <= 0 {
+		panic(fmt.Sprintf("core: invalid parameters m=%d nc=%d", m, nc))
+	}
+}
+
+// DisjointPossible is Theorem 2: start banks with disjoint access sets
+// exist if and only if gcd(m, d1, d2) > 1.
+func DisjointPossible(m, d1, d2 int) bool {
+	d1, d2 = modmath.Mod(d1, m), modmath.Mod(d2, m)
+	f1 := modmath.GCD(m, d1)
+	f2 := modmath.GCD(m, d2)
+	return modmath.GCD(f1, f2) > 1
+}
+
+// DisjointStarts returns start banks realising Theorem 2's disjoint
+// access sets (the proof's construction: consecutive start banks),
+// with ok = false when gcd(m, d1, d2) = 1 and no such banks exist.
+func DisjointStarts(m, d1, d2 int) (b1, b2 int, ok bool) {
+	if !DisjointPossible(m, d1, d2) {
+		return 0, 0, false
+	}
+	return 0, 1, true
+}
+
+// ConflictFreeCondition is Theorem 3 for s = m: there exist start banks
+// making two access streams with nondisjoint access sets conflict free
+// if and only if
+//
+//	gcd(m/f, (d2-d1)/f) >= 2*n_c,   f = gcd(m, d1, d2),
+//
+// with the convention gcd(x, 0) = x (so equal distances are conflict
+// free iff r = m/f >= 2*n_c). Moreover such a pair synchronises: from
+// any relative starting position the streams fall into the
+// conflict-free cycle. The preconditions r1, r2 >= n_c (no
+// self-conflicts) are the caller's to check; see Analyze.
+func ConflictFreeCondition(m, nc, d1, d2 int) bool {
+	checkParams(m, nc)
+	d1, d2 = modmath.Mod(d1, m), modmath.Mod(d2, m)
+	f := modmath.GCD3(m, d1, d2)
+	if f == 0 {
+		f = m // both distances zero
+	}
+	diff := modmath.Mod(d2-d1, m)
+	g := modmath.GCD(m/f, diff/f%(m/f))
+	if g == 0 {
+		g = m / f
+	}
+	return g >= 2*nc
+}
+
+// ConflictFreeStarts returns the relative starting position the proof
+// of Theorem 3 constructs: b1 = 0, b2 = n_c*d1 mod m ("the two access
+// streams will definitely meet at b2, with access stream 1 arriving at
+// b2 just at the time when b2 becomes available again").
+func ConflictFreeStarts(m, nc, d1, _ int) (b1, b2 int) {
+	return 0, modmath.Mod(nc*d1, m)
+}
+
+// canonical reduces (m, d1, d2) to the primed domain the proofs of
+// Theorems 4–7 work in: f = gcd(m, d1, d2), m' = m/f, d1' = d1/f,
+// d2' = d2/f; with d1 | m it follows d1' | m' and gcd(d1', d2') = 1.
+func canonical(m, d1, d2 int) (f, mp, d1p, d2p int) {
+	f = modmath.GCD3(m, d1, d2)
+	if f == 0 {
+		f = m
+	}
+	return f, m / f, d1 / f, d2 / f
+}
+
+// barrierPreconditions checks the standing hypotheses of Theorems 4–7:
+// r1 >= 2*n_c, r2 > n_c, d1 | m, d2 > d1. (Nondisjoint access sets is a
+// property of the chosen start banks; the theorems construct such
+// banks.) Distances are expected in canonical position — use
+// stream.CanonicalPair first for arbitrary pairs.
+func barrierPreconditions(m, nc, d1, d2 int) error {
+	checkParams(m, nc)
+	if d1 <= 0 || !modmath.Divides(d1, m) {
+		return fmt.Errorf("core: d1 = %d must divide m = %d (apply the Appendix isomorphism first)", d1, m)
+	}
+	if d2 <= d1 {
+		return fmt.Errorf("core: need d2 = %d > d1 = %d", d2, d1)
+	}
+	if r1 := ReturnNumber(m, d1); r1 < 2*nc {
+		return fmt.Errorf("core: r1 = %d < 2*n_c = %d", r1, 2*nc)
+	}
+	if r2 := ReturnNumber(m, d2); r2 <= nc {
+		return fmt.Errorf("core: r2 = %d <= n_c = %d", r2, nc)
+	}
+	return nil
+}
+
+// BarrierPossible is Theorem 4: under the preconditions r1 >= 2*n_c,
+// r2 > n_c, d1 | m, d2 > d1 there exist start banks with nondisjoint
+// access sets for which a barrier-situation occurs (one stream runs
+// conflict free while the other is regularly delayed) if
+//
+//	((d2 mod m/d1) - d1)/f < n_c,
+//
+// equivalently (Eq. 21) d2' ≡ d1' + c (mod m”) with 1 <= c < n_c,
+// m” = m'/d1'. An error reports violated preconditions.
+func BarrierPossible(m, nc, d1, d2 int) (bool, error) {
+	if err := barrierPreconditions(m, nc, d1, d2); err != nil {
+		return false, err
+	}
+	_, mp, d1p, d2p := canonical(m, d1, d2)
+	mpp := mp / d1p
+	c := modmath.Mod(d2p-d1p, mpp)
+	return c >= 1 && c < nc, nil
+}
+
+// NoDoubleConflict is Theorem 5: under the barrier preconditions a
+// double conflict (a cyclic state with mutual delays) is never
+// encountered if
+//
+//	(n_c - 1)(d2 + d1) < m.
+func NoDoubleConflict(m, nc, d1, d2 int) (bool, error) {
+	if err := barrierPreconditions(m, nc, d1, d2); err != nil {
+		return false, err
+	}
+	return (nc-1)*(d2+d1) < m, nil
+}
+
+// UniqueBarrier reports whether a barrier-situation is reached from
+// *every* relative starting position ("unique barrier-situation"),
+// combining Theorem 6 ((2n_c - 1)·d2 <= m suffices when Theorem 4
+// holds) and Theorem 7 (when (17) and (22) hold but not (24), the
+// barrier is unique if k·d2 < (k - n_c)·d1 (mod m) with
+// k = ceil(m/(d1·d2))·d1 < 2n_c; with fixed priority favouring stream
+// 1, Eq. 28 extends this to equality).
+//
+// fixedPriority selects whether the Eq. 28 equality case counts (the
+// simultaneous bank conflict then delays stream 2 and the barrier is
+// still reached).
+func UniqueBarrier(m, nc, d1, d2 int, fixedPriority bool) (bool, error) {
+	possible, err := BarrierPossible(m, nc, d1, d2)
+	if err != nil {
+		return false, err
+	}
+	if !possible {
+		return false, nil
+	}
+	// Theorem 6.
+	if (2*nc-1)*d2 <= m {
+		return true, nil
+	}
+	// Theorem 7 requires Theorem 5's guard (22).
+	if ok, _ := NoDoubleConflict(m, nc, d1, d2); !ok {
+		return false, nil
+	}
+	_, mp, d1p, d2p := canonical(m, d1, d2)
+	k := modmath.CeilDiv(mp, d1p*d2p) * d1p
+	if k >= 2*nc {
+		return false, nil
+	}
+	lhs := modmath.Mod(k*d2p, mp)
+	rhs := modmath.Mod((k-nc)*d1p, mp)
+	if lhs < rhs {
+		return true, nil
+	}
+	if fixedPriority && lhs == rhs {
+		return true, nil // Eq. 28
+	}
+	return false, nil
+}
+
+// BarrierBandwidth is Eq. 29: in a unique barrier-situation
+// (d2 + d1)/f access requests are granted within d2/f clock periods,
+// so b_eff = 1 + d1/d2 < 2. The f cancels; the original distances can
+// be passed directly.
+func BarrierBandwidth(d1, d2 int) rat.Rational {
+	if d2 <= 0 {
+		panic(fmt.Sprintf("core: BarrierBandwidth needs d2 > 0, got %d", d2))
+	}
+	return rat.One().Add(rat.New(int64(d1), int64(d2)))
+}
+
+// --- Sections (s < m) -------------------------------------------------
+
+// SectionDisjointConflictFree is Theorem 8: when the access sets are
+// disjoint but the section sets are not, conflict-free access streams
+// can only be achieved if gcd(s, d2 - d1) >= 2. (Follows from Eq. 12
+// with m replaced by s and n_c = 1, a path's "cycle time".)
+func SectionDisjointConflictFree(s, d1, d2 int) bool {
+	if s <= 0 {
+		panic(fmt.Sprintf("core: invalid section count %d", s))
+	}
+	g := modmath.GCD(s, modmath.Mod(d2-d1, s))
+	if g == 0 {
+		g = s
+	}
+	return g >= 2
+}
+
+// SectionConflictFree combines Theorem 9 and Eq. 32 for nondisjoint
+// access sets on a memory with s | m sections, cyclic distribution:
+// given that Theorem 3's Eq. 12 holds, the relative start
+// b2 = (n_c+j)·d1 is conflict free if
+//
+//   - gcd(m/f, (d2-d1)/f) >= 2(n_c+j) — the bank-level spacing of
+//     Theorem 3, paying j extra clock periods (j = 0 is Eq. 12 itself,
+//     j = 1 is Eq. 32's "an extra clock period is needed"), and
+//   - (n_c+j)·d1 is not a multiple of gcd(s, gcd(m, d2-d1)) — then the
+//     simultaneous access requests, whose bank addresses differ by
+//     (n_c+j)·d1 plus multiples of gcd(m, d2-d1), always fall in
+//     different sections.
+//
+// The second condition generalises the paper's Eq. 31 (n_c·d1 != k·s):
+// the printed form is equivalent only when s divides gcd(m, d2-d1)
+// (e.g. equal distances, where gcd(m, 0) = m); the proof's difference
+// argument gives the gcd form, which simulation confirms (see
+// sections_test.go).
+//
+// It returns whether a conflict-free relative start exists and the
+// start offset (relative to b1 = 0) realising it.
+func SectionConflictFree(m, s, nc, d1, d2 int) (ok bool, b2 int) {
+	checkParams(m, nc)
+	if s <= 0 || m%s != 0 {
+		panic(fmt.Sprintf("core: sections %d must divide banks %d", s, m))
+	}
+	if !ConflictFreeCondition(m, nc, d1, d2) {
+		return false, 0
+	}
+	d1m, d2m := modmath.Mod(d1, m), modmath.Mod(d2, m)
+	f := modmath.GCD3(m, d1m, d2m)
+	if f == 0 {
+		f = m
+	}
+	diff := modmath.Mod(d2m-d1m, m)
+	gBank := modmath.GCD(m/f, diff/f%(m/f))
+	if gBank == 0 {
+		gBank = m / f
+	}
+	gDiff := modmath.GCD(m, diff) // spacing of simultaneous bank addresses
+	if gDiff == 0 {
+		gDiff = m
+	}
+	sg := modmath.GCD(s, gDiff)
+	for j := 0; 2*(nc+j) <= gBank; j++ {
+		if modmath.Mod((nc+j)*d1m, sg) != 0 {
+			return true, modmath.Mod((nc+j)*d1m, m)
+		}
+	}
+	return false, 0
+}
+
+// SectionDisjointSteadyFree extends Theorem 8 to a per-placement
+// steady-state prediction (not in the paper, but implied by its
+// difference argument): with disjoint access sets, only section
+// conflicts can occur, the relative section phase is
+// (b2 - b1) + k(d2 - d1) mod s, and each collision delays stream 2 by
+// one clock, shifting the phase by -d2. The cyclic state is conflict
+// free iff some reachable phase avoids collisions:
+//
+//	(b2 - b1) mod g != 0   (already collision free), or
+//	d1 mod g != 0          (delays eventually escape the 0 residue),
+//
+// where g = gcd(s, d2-d1) (g = s for equal distances). With g = 1
+// neither holds — Theorem 8's necessity.
+func SectionDisjointSteadyFree(s, b1, d1, b2, d2 int) bool {
+	if s <= 0 {
+		panic(fmt.Sprintf("core: invalid section count %d", s))
+	}
+	g := modmath.GCD(s, modmath.Mod(d2-d1, s))
+	if g == 0 {
+		g = s
+	}
+	if modmath.Mod(b2-b1, g) != 0 {
+		return true
+	}
+	return modmath.Mod(d1, g) != 0
+}

@@ -1,0 +1,426 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ivm/internal/modmath"
+	"ivm/internal/rat"
+	"ivm/internal/stream"
+)
+
+func TestReturnNumberMatchesStream(t *testing.T) {
+	for m := 1; m <= 32; m++ {
+		for d := 0; d < m; d++ {
+			if ReturnNumber(m, d) != stream.ReturnNumber(m, d) {
+				t.Fatalf("m=%d d=%d", m, d)
+			}
+		}
+	}
+}
+
+func TestSingleStreamBandwidth(t *testing.T) {
+	cases := []struct {
+		m, nc, d int
+		want     rat.Rational
+	}{
+		{16, 4, 1, rat.One()},
+		{16, 4, 8, rat.New(1, 2)}, // r=2
+		{16, 4, 0, rat.New(1, 4)}, // r=1
+		{16, 4, 4, rat.One()},     // r=4 = nc
+		{12, 6, 4, rat.New(1, 2)}, // r=3
+		{13, 6, 2, rat.One()},     // r=13
+		{8, 3, 6, rat.One()},      // r=4 > 3
+		{8, 5, 6, rat.New(4, 5)},  // r=4 < 5
+	}
+	for _, c := range cases {
+		if got := SingleStreamBandwidth(c.m, c.nc, c.d); !got.Equal(c.want) {
+			t.Errorf("m=%d nc=%d d=%d: %s, want %s", c.m, c.nc, c.d, got, c.want)
+		}
+	}
+}
+
+func TestDisjointPossibleTheorem2(t *testing.T) {
+	cases := []struct {
+		m, d1, d2 int
+		want      bool
+	}{
+		{16, 2, 4, true},
+		{16, 2, 3, false},
+		{16, 1, 1, false},
+		{12, 3, 9, true},
+		{12, 4, 6, true},  // gcd(12,4,6)=2
+		{13, 2, 4, false}, // prime m
+		{16, 0, 0, true},  // gcd(m,0,0)=m
+		{16, 0, 2, true},  // gcd = 2
+		{16, 0, 3, false},
+	}
+	for _, c := range cases {
+		if got := DisjointPossible(c.m, c.d1, c.d2); got != c.want {
+			t.Errorf("DisjointPossible(%d,%d,%d) = %v, want %v", c.m, c.d1, c.d2, got, c.want)
+		}
+		b1, b2, ok := DisjointStarts(c.m, c.d1, c.d2)
+		if ok != c.want {
+			t.Errorf("DisjointStarts(%d,%d,%d) ok = %v", c.m, c.d1, c.d2, ok)
+		}
+		if ok {
+			s1 := stream.Infinite(c.m, b1, c.d1)
+			s2 := stream.Infinite(c.m, b2, c.d2)
+			if !stream.Disjoint(s1, s2) {
+				t.Errorf("DisjointStarts(%d,%d,%d) = %d,%d not disjoint", c.m, c.d1, c.d2, b1, b2)
+			}
+		}
+	}
+}
+
+func TestConflictFreeConditionPaperExamples(t *testing.T) {
+	// Fig. 2: m=12, nc=3, d1=1, d2=7: gcd(12,6)=6 >= 6.
+	if !ConflictFreeCondition(12, 3, 1, 7) {
+		t.Error("Fig. 2 case should be conflict free")
+	}
+	// Same pair with nc=4 fails: 6 < 8.
+	if ConflictFreeCondition(12, 4, 1, 7) {
+		t.Error("m=12 nc=4 d1=1 d2=7 should not be conflict free")
+	}
+	// Equal distances: gcd(m, 0) = m, conflict free iff r >= 2nc.
+	if !ConflictFreeCondition(16, 4, 3, 3) { // r=16 >= 8
+		t.Error("equal distances with r >= 2nc should be conflict free")
+	}
+	if !ConflictFreeCondition(16, 4, 2, 2) { // gcd(m/f, 0) = m/f = 8 >= 8
+		t.Error("m=16 nc=4 d=2: m/f = 8 >= 2nc = 8, should be conflict free")
+	}
+	if ConflictFreeCondition(16, 4, 4, 4) { // m/f = 4 < 8
+		t.Error("m=16 nc=4 d=4 should not be conflict free")
+	}
+	// Triad stride 9 against environment 1 on the X-MP (Section IV):
+	// "this case is also theoretically conflict free (Theorem 3)":
+	// gcd(16, 8) = 8 >= 2*4.
+	if !ConflictFreeCondition(16, 4, 1, 9) {
+		t.Error("INC=9 vs d=1 on the X-MP should be conflict free by Theorem 3")
+	}
+}
+
+func TestConflictFreeConditionIsomorphismInvariant(t *testing.T) {
+	for m := 2; m <= 24; m++ {
+		units := modmath.Units(m)
+		for d1 := 0; d1 < m; d1++ {
+			for d2 := 0; d2 < m; d2++ {
+				base := ConflictFreeCondition(m, 3, d1, d2)
+				for _, k := range units {
+					if got := ConflictFreeCondition(m, 3, k*d1%m, k*d2%m); got != base {
+						t.Fatalf("m=%d d1=%d d2=%d k=%d: invariance broken", m, d1, d2, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestConflictFreeConditionSymmetric(t *testing.T) {
+	for m := 2; m <= 24; m++ {
+		for nc := 1; nc <= 4; nc++ {
+			for d1 := 0; d1 < m; d1++ {
+				for d2 := 0; d2 < m; d2++ {
+					if ConflictFreeCondition(m, nc, d1, d2) != ConflictFreeCondition(m, nc, d2, d1) {
+						t.Fatalf("m=%d nc=%d d1=%d d2=%d: asymmetric", m, nc, d1, d2)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBarrierPossiblePaperExamples(t *testing.T) {
+	// Fig. 3: m=13, nc=6, d1=1, d2=6.
+	ok, err := BarrierPossible(13, 6, 1, 6)
+	if err != nil || !ok {
+		t.Errorf("Fig. 3 barrier: ok=%v err=%v", ok, err)
+	}
+	// Fig. 5: m=13, nc=4, d1=1, d2=3.
+	ok, err = BarrierPossible(13, 4, 1, 3)
+	if err != nil || !ok {
+		t.Errorf("Fig. 5 barrier: ok=%v err=%v", ok, err)
+	}
+	// d2 - d1 large: m=13, nc=2, d2=8: c = 7 mod 13 >= nc -> no barrier.
+	ok, err = BarrierPossible(13, 2, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("m=13 nc=2 d1=1 d2=8: barrier should not be possible (c = 7 >= nc)")
+	}
+}
+
+func TestBarrierPreconditionErrors(t *testing.T) {
+	if _, err := BarrierPossible(13, 4, 2, 3); err == nil {
+		t.Error("d1 not dividing m must be rejected")
+	}
+	if _, err := BarrierPossible(13, 4, 3, 1); err == nil {
+		t.Error("d2 <= d1 must be rejected")
+	}
+	if _, err := BarrierPossible(16, 4, 4, 5); err == nil {
+		t.Error("r1 = 4 < 2nc = 8 must be rejected")
+	}
+	if _, err := BarrierPossible(16, 4, 1, 8); err == nil {
+		t.Error("r2 = 2 <= nc must be rejected")
+	}
+}
+
+func TestNoDoubleConflictTheorem5(t *testing.T) {
+	// Fig. 5/6 parameters: (nc-1)(d2+d1) = 3*4 = 12 < 13: no double
+	// conflict ever.
+	ok, err := NoDoubleConflict(13, 4, 1, 3)
+	if err != nil || !ok {
+		t.Errorf("Fig. 5: ok=%v err=%v", ok, err)
+	}
+	// Fig. 3/4 parameters: 5*7 = 35 >= 13: double conflicts possible
+	// (Fig. 4 shows one).
+	ok, err = NoDoubleConflict(13, 6, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("Fig. 4 parameters must not satisfy Theorem 5")
+	}
+}
+
+func TestUniqueBarrierTheorem6(t *testing.T) {
+	// m=16, nc=2, d1=1, d2=2: barrier possible (c=1), Theorem 6:
+	// (2nc-1)d2 = 6 <= 16: unique.
+	ok, err := UniqueBarrier(16, 2, 1, 2, false)
+	if err != nil || !ok {
+		t.Errorf("m=16 nc=2 1(+)2: ok=%v err=%v", ok, err)
+	}
+	// Fig. 5: Theorem 6 fails (21 > 13), Theorem 7 fails (2 > 1):
+	// not unique — Fig. 6 indeed shows the inverted barrier.
+	ok, err = UniqueBarrier(13, 4, 1, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("Fig. 5 barrier must not be unique (Fig. 6 inverts it)")
+	}
+	// Fig. 3: Theorem 5's guard fails, so Theorem 7 does not apply and
+	// Theorem 6 fails (66 > 13): not unique — Fig. 4 shows the double
+	// conflict.
+	ok, err = UniqueBarrier(13, 6, 1, 6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("Fig. 3 barrier must not be unique (Fig. 4 double-conflicts)")
+	}
+}
+
+func TestBarrierBandwidthEq29(t *testing.T) {
+	cases := []struct {
+		d1, d2 int
+		want   rat.Rational
+	}{
+		{1, 6, rat.New(7, 6)},
+		{1, 3, rat.New(4, 3)},
+		{1, 2, rat.New(3, 2)},
+		{2, 4, rat.New(3, 2)},
+		{2, 3, rat.New(5, 3)},
+		{3, 4, rat.New(7, 4)},
+	}
+	for _, c := range cases {
+		if got := BarrierBandwidth(c.d1, c.d2); !got.Equal(c.want) {
+			t.Errorf("BarrierBandwidth(%d,%d) = %s, want %s", c.d1, c.d2, got, c.want)
+		}
+		if got := BarrierBandwidth(c.d1, c.d2); got.Cmp(rat.New(2, 1)) >= 0 {
+			t.Errorf("BarrierBandwidth(%d,%d) = %s, must be < 2", c.d1, c.d2, got)
+		}
+	}
+}
+
+func TestSectionDisjointConflictFreeTheorem8(t *testing.T) {
+	if !SectionDisjointConflictFree(4, 1, 3) { // gcd(4,2)=2
+		t.Error("s=4 d2-d1=2 should admit conflict-free streams")
+	}
+	if SectionDisjointConflictFree(4, 1, 2) { // gcd(4,1)=1
+		t.Error("s=4 d2-d1=1 should not")
+	}
+	if !SectionDisjointConflictFree(2, 1, 1) { // gcd(2,0)=2
+		t.Error("equal distances: gcd(s,0)=s >= 2")
+	}
+}
+
+func TestSectionConflictFreeTheorem9(t *testing.T) {
+	// Fig. 7: m=12, s=2, nc=2, d1=d2=1. Theorem 9's guard fails
+	// (nc*d1 = 2 = s), but Eq. 32 holds (gcd(12,0) = 12 >= 6) and the
+	// start offset (nc+1)*d1 = 3 works.
+	ok, b2 := SectionConflictFree(12, 2, 2, 1, 1)
+	if !ok {
+		t.Fatal("Fig. 7 must be conflict free")
+	}
+	if b2 != 3 {
+		t.Fatalf("Fig. 7 offset = %d, want 3", b2)
+	}
+	// When nc*d1 is not a multiple of s, the Theorem 3 start works
+	// directly: m=12, s=2, nc=3, d1=1, d2=7: Eq. 12 gives gcd(12,6)=6
+	// >= 6; nc*d1 = 3 odd.
+	ok, b2 = SectionConflictFree(12, 2, 3, 1, 7)
+	if !ok || b2 != 3 {
+		t.Fatalf("m=12 s=2 nc=3 1(+)7: ok=%v b2=%d, want ok at offset 3", ok, b2)
+	}
+	// Eq. 12 failing propagates: m=12, s=2, nc=4, d1=1, d2=7.
+	ok, _ = SectionConflictFree(12, 2, 4, 1, 7)
+	if ok {
+		t.Error("Eq. 12 fails for nc=4; section variant must fail too")
+	}
+}
+
+func TestAnalyzePaperCases(t *testing.T) {
+	cases := []struct {
+		m, nc, d1, d2 int
+		want          Regime
+	}{
+		{12, 3, 1, 7, RegimeConflictFree},    // Fig. 2
+		{13, 6, 1, 6, RegimeBarrierPossible}, // Figs. 3/4
+		{13, 4, 1, 3, RegimeBarrierPossible}, // Figs. 5/6
+		{16, 2, 1, 2, RegimeUniqueBarrier},
+		{16, 4, 2, 4, RegimeDisjointFree}, // f=2, Eq.12: gcd(8,1)=1 < 8
+		{16, 4, 1, 9, RegimeConflictFree}, // triad INC=9
+		{16, 4, 8, 1, RegimeSelfConflict}, // r=2 < nc
+		// Triad INC=11 ~ 1(+)3: barrier predicted; the unique-barrier
+		// witness (1,3) would need the d1-role stream (here the second
+		// input) to hold priority, so with stream-1 priority only
+		// "possible" is provable — simulation nevertheless shows the
+		// barrier from every start (the theorems are sufficient, not
+		// necessary).
+		{16, 4, 1, 11, RegimeBarrierPossible},
+	}
+	for _, c := range cases {
+		a := Analyze(c.m, c.nc, c.d1, c.d2)
+		if a.Regime != c.want {
+			t.Errorf("Analyze(%d,%d,%d,%d) = %s, want %s (%s)",
+				c.m, c.nc, c.d1, c.d2, a.Regime, c.want, a)
+		}
+	}
+}
+
+func TestAnalyzeBandwidthFields(t *testing.T) {
+	a := Analyze(12, 3, 1, 7)
+	if !a.HasBandwidth || !a.Bandwidth.Equal(rat.New(2, 1)) || !a.StartIndependent {
+		t.Errorf("Fig. 2 analysis: %+v", a)
+	}
+	a = Analyze(16, 2, 1, 2)
+	if !a.HasBandwidth || !a.Bandwidth.Equal(rat.New(3, 2)) || !a.StartIndependent {
+		t.Errorf("unique barrier analysis: %+v", a)
+	}
+	a = Analyze(13, 4, 1, 3)
+	if !a.HasBandwidth || !a.Bandwidth.Equal(rat.New(4, 3)) || a.StartIndependent {
+		t.Errorf("Fig. 5 analysis: %+v", a)
+	}
+	a = Analyze(16, 4, 8, 1)
+	if a.HasBandwidth {
+		t.Errorf("self-conflict analysis should not predict a pair bandwidth: %+v", a)
+	}
+}
+
+// Swapping the streams swaps which one holds the fixed priority, so
+// Theorem 7's Eq. 28 (priority-dependent) may upgrade one orientation
+// from barrier-possible to unique-barrier — but the regimes must agree
+// up to that refinement, and conflict-free/disjoint/self-conflict
+// classifications are strictly symmetric.
+func TestAnalyzeSymmetry(t *testing.T) {
+	barrierish := func(r Regime) bool {
+		return r == RegimeUniqueBarrier || r == RegimeBarrierPossible
+	}
+	for m := 2; m <= 20; m++ {
+		for nc := 2; nc <= 4; nc++ {
+			for d1 := 0; d1 < m; d1++ {
+				for d2 := d1; d2 < m; d2++ {
+					a := Analyze(m, nc, d1, d2)
+					b := Analyze(m, nc, d2, d1)
+					if a.Regime != b.Regime && !(barrierish(a.Regime) && barrierish(b.Regime)) {
+						t.Fatalf("m=%d nc=%d (%d,%d): %s vs %s", m, nc, d1, d2, a.Regime, b.Regime)
+					}
+					if a.HasBandwidth != b.HasBandwidth {
+						t.Fatalf("m=%d nc=%d (%d,%d): HasBandwidth asymmetry", m, nc, d1, d2)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAnalyzeIsomorphismInvariance(t *testing.T) {
+	for m := 2; m <= 16; m++ {
+		units := modmath.Units(m)
+		for nc := 2; nc <= 3; nc++ {
+			for d1 := 0; d1 < m; d1++ {
+				for d2 := 0; d2 < m; d2++ {
+					a := Analyze(m, nc, d1, d2)
+					for _, k := range units {
+						b := Analyze(m, nc, k*d1%m, k*d2%m)
+						if a.Regime != b.Regime {
+							t.Fatalf("m=%d nc=%d (%d,%d) k=%d: %s vs %s", m, nc, d1, d2, k, a.Regime, b.Regime)
+						}
+						if a.HasBandwidth && !a.Bandwidth.Equal(b.Bandwidth) {
+							t.Fatalf("m=%d nc=%d (%d,%d) k=%d: %s vs %s bandwidth", m, nc, d1, d2, k, a.Bandwidth, b.Bandwidth)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRegimeStrings(t *testing.T) {
+	for r, want := range map[Regime]string{
+		RegimeSelfConflict:    "self-conflict",
+		RegimeConflictFree:    "conflict-free",
+		RegimeDisjointFree:    "disjoint-free",
+		RegimeUniqueBarrier:   "unique-barrier",
+		RegimeBarrierPossible: "barrier-possible",
+		RegimeConflicting:     "conflicting",
+	} {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q", int(r), r.String())
+		}
+	}
+	if Regime(42).String() != "Regime(42)" {
+		t.Error("unknown regime string")
+	}
+}
+
+func TestAnalysisString(t *testing.T) {
+	a := Analyze(12, 3, 1, 7)
+	s := a.String()
+	for _, tok := range []string{"m=12", "nc=3", "conflict-free", "b_eff=2"} {
+		if !contains(s, tok) {
+			t.Errorf("Analysis.String() = %q missing %q", s, tok)
+		}
+	}
+	b := Analyze(16, 4, 8, 1) // self-conflict: no bandwidth -> "-"
+	if !contains(b.String(), "b_eff=-") {
+		t.Errorf("self-conflict String() = %q", b.String())
+	}
+}
+
+func contains(s, sub string) bool {
+	return strings.Contains(s, sub)
+}
+
+func TestParameterPanics(t *testing.T) {
+	cases := []func(){
+		func() { SingleStreamBandwidth(0, 4, 1) },
+		func() { SingleStreamBandwidth(16, 0, 1) },
+		func() { BarrierBandwidth(1, 0) },
+		func() { SectionDisjointConflictFree(0, 1, 2) },
+		func() { SectionConflictFree(12, 5, 2, 1, 1) },
+		func() { Analyze(0, 1, 1, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

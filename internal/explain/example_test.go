@@ -1,0 +1,25 @@
+package explain_test
+
+import (
+	"fmt"
+
+	"ivm/internal/explain"
+)
+
+// The paper's own reasoning for INC = 6: "isomorphic to 2 (+) 3 … a
+// barrier-situation where the access requests of the triad are fairly
+// undisturbed while the access requests of the other CPU are greatly
+// delayed."
+func ExampleTriadReport() {
+	v := explain.TriadReport(6).Verdicts[0]
+	fmt.Printf("%d(+)%d %s, triad wins: %v\n",
+		v.Canonical[0], v.Canonical[1], v.Analysis.Regime, v.WorkWins)
+	// Output: 2(+)3 unique-barrier, triad wins: true
+}
+
+func ExamplePair() {
+	// INC=2 against the d=1 environment: the triad is the barrier loser.
+	v := explain.Pair(16, 4, 2, 1)
+	fmt.Println(v.Analysis.Regime, v.WorkWins)
+	// Output: unique-barrier false
+}

@@ -1,0 +1,104 @@
+package explain
+
+import (
+	"strings"
+	"testing"
+
+	"ivm/internal/core"
+	"ivm/internal/rat"
+)
+
+// Section IV's worked isomorphisms: INC=6 against d=1 is isomorphic to
+// 2(+)3 and the triad wins the barrier; INC=11 to 1(+)3, triad wins;
+// INC=2 and 3 are barriers the environment wins.
+func TestTriadReportMatchesPaperDiscussion(t *testing.T) {
+	cases := []struct {
+		inc       int
+		regimeAny []core.Regime
+		workWins  bool
+		hasRole   bool
+	}{
+		{2, []core.Regime{core.RegimeUniqueBarrier, core.RegimeBarrierPossible}, false, true},
+		{3, []core.Regime{core.RegimeUniqueBarrier, core.RegimeBarrierPossible}, false, true},
+		{6, []core.Regime{core.RegimeUniqueBarrier, core.RegimeBarrierPossible}, true, true},
+		{11, []core.Regime{core.RegimeUniqueBarrier, core.RegimeBarrierPossible}, true, true},
+		{9, []core.Regime{core.RegimeConflictFree}, false, false},
+		{1, []core.Regime{core.RegimeConflictFree}, false, false},
+	}
+	for _, c := range cases {
+		r := TriadReport(c.inc)
+		if len(r.Verdicts) != 1 {
+			t.Fatalf("INC=%d: %d verdicts", c.inc, len(r.Verdicts))
+		}
+		v := r.Verdicts[0]
+		ok := false
+		for _, reg := range c.regimeAny {
+			if v.Analysis.Regime == reg {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("INC=%d: regime %s", c.inc, v.Analysis.Regime)
+		}
+		if v.HasRole != c.hasRole {
+			t.Errorf("INC=%d: HasRole = %v", c.inc, v.HasRole)
+		}
+		if c.hasRole && v.WorkWins != c.workWins {
+			t.Errorf("INC=%d: WorkWins = %v, want %v", c.inc, v.WorkWins, c.workWins)
+		}
+	}
+}
+
+// INC=16 (distance 0) self-conflicts; the summary's worst bandwidth is
+// the stream's own rate 1/4.
+func TestTriadReportSelfConflict(t *testing.T) {
+	r := TriadReport(16)
+	if r.Verdicts[0].Analysis.Regime != core.RegimeSelfConflict {
+		t.Fatalf("regime = %s", r.Verdicts[0].Analysis.Regime)
+	}
+	if !r.Worst().Equal(rat.New(1, 4)) {
+		t.Fatalf("worst = %s, want 1/4", r.Worst())
+	}
+}
+
+func TestBarrierWinnerMatchesEq29Roles(t *testing.T) {
+	// Direct check: 1(+)2 on m=16, nc=4 — the d=1 stream (work) wins.
+	v := Pair(16, 4, 1, 2)
+	if !v.HasRole || !v.WorkWins {
+		t.Fatalf("Pair(16,4,1,2) = %+v, expected workload to win", v)
+	}
+	// Swapped: work d=2 against env d=1 — the environment wins.
+	v = Pair(16, 4, 2, 1)
+	if !v.HasRole || v.WorkWins {
+		t.Fatalf("Pair(16,4,2,1) = %+v, expected environment to win", v)
+	}
+}
+
+func TestAnalyzeDeduplicatesPairs(t *testing.T) {
+	r := Analyze(16, 4,
+		Workload{Name: "w", Distances: []int{1, 1, 1, 1}},
+		Workload{Name: "e", Distances: []int{1, 1, 1}},
+	)
+	if len(r.Verdicts) != 1 {
+		t.Fatalf("verdicts = %d, want 1 (deduplicated)", len(r.Verdicts))
+	}
+}
+
+func TestReportString(t *testing.T) {
+	out := TriadReport(6).String()
+	for _, want := range []string{"triad INC=6", "isomorphic", "barrier", "workload", "worst predicted"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWorstConflictFree(t *testing.T) {
+	r := Analyze(16, 4,
+		Workload{Name: "w", Distances: []int{1}},
+		Workload{Name: "e", Distances: []int{9}},
+	)
+	if !r.Worst().Equal(rat.New(2, 1)) {
+		t.Fatalf("worst = %s, want 2", r.Worst())
+	}
+}

@@ -1,0 +1,38 @@
+package figures
+
+// Regenerate the golden timelines with:
+//
+//	go test ./internal/figures -run TestGoldenTimelines -update
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden timeline files")
+
+// TestGoldenTimelines pins the exact 34-clock timeline of every figure.
+// The renders were verified against the paper's printed diagrams (see
+// EXPERIMENTS.md); any simulator or renderer change that alters them
+// must be deliberate.
+func TestGoldenTimelines(t *testing.T) {
+	for _, f := range All() {
+		got := f.Timeline(34)
+		path := filepath.Join("testdata", "fig"+f.ID+".golden")
+		if *update {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("Fig. %s: %v (run with -update to create)", f.ID, err)
+		}
+		if got != string(want) {
+			t.Errorf("Fig. %s timeline changed:\n--- got ---\n%s--- want ---\n%s", f.ID, got, want)
+		}
+	}
+}

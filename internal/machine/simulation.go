@@ -1,0 +1,97 @@
+package machine
+
+import (
+	"fmt"
+
+	"ivm/internal/memsys"
+)
+
+// Simulation co-simulates one or more vector CPUs (and optional raw
+// background access streams) against a shared interleaved memory
+// system, one clock period at a time:
+//
+//  1. each CPU issues at most one instruction,
+//  2. the memory system arbitrates all pending port requests,
+//  3. ALU pipelines consume newly available operand elements,
+//  4. finished instructions release their ports, units and registers.
+type Simulation struct {
+	Mem  *memsys.System
+	CPUs []*CPU
+}
+
+// NewSimulation builds a memory system and attaches `cpus` vector CPUs
+// to consecutive CPU slots. The memsys configuration must declare at
+// least that many CPUs.
+func NewSimulation(memCfg memsys.Config, cpus int, cfg Config) *Simulation {
+	if memCfg.CPUs == 0 {
+		memCfg.CPUs = cpus
+	}
+	if memCfg.CPUs < cpus {
+		panic(fmt.Sprintf("machine: %d CPUs requested, memory has %d path groups", cpus, memCfg.CPUs))
+	}
+	sys := memsys.New(memCfg)
+	sim := &Simulation{Mem: sys}
+	for i := 0; i < cpus; i++ {
+		sim.CPUs = append(sim.CPUs, NewCPU(sys, i, cfg))
+	}
+	return sim
+}
+
+// AddBackgroundStream attaches a raw infinite access stream to a CPU
+// slot (e.g. the paper's "other CPU", whose three ports constantly
+// access memory with distance 1). It returns the memsys port for
+// conflict accounting.
+func (s *Simulation) AddBackgroundStream(cpuSlot int, label string, start, stride int64) *memsys.Port {
+	return s.Mem.AddPort(cpuSlot, label, memsys.NewInfiniteStrided(start, stride))
+}
+
+// Step advances the co-simulation by one clock period.
+func (s *Simulation) Step() {
+	t := s.Mem.Clock()
+	for _, c := range s.CPUs {
+		c.tryIssue(t)
+	}
+	s.Mem.Step()
+	for _, c := range s.CPUs {
+		c.advanceALU(t)
+		c.retire(t)
+	}
+}
+
+// Run steps until every CPU program has retired, or maxClocks elapse.
+// It returns the clock at which the last CPU finished and whether all
+// finished within the budget.
+func (s *Simulation) Run(maxClocks int64) (int64, bool) {
+	for s.Mem.Clock() < maxClocks {
+		if s.allDone() {
+			return s.finishClock(), true
+		}
+		s.Step()
+	}
+	return s.Mem.Clock(), s.allDone()
+}
+
+func (s *Simulation) allDone() bool {
+	for _, c := range s.CPUs {
+		if !c.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Simulation) finishClock() int64 {
+	var last int64
+	for _, c := range s.CPUs {
+		if c.doneClock > last {
+			last = c.doneClock
+		}
+	}
+	return last
+}
+
+// MicroSeconds converts a clock count to microseconds using the CPU
+// clock period (ClockNS).
+func (c Config) MicroSeconds(clocks int64) float64 {
+	return float64(clocks) * c.withDefaults().ClockNS / 1000.0
+}

@@ -1,0 +1,45 @@
+package memsys_test
+
+import (
+	"fmt"
+
+	"ivm/internal/memsys"
+)
+
+// Simulate the paper's Fig. 3 barrier-situation and read off the exact
+// steady-state bandwidth.
+func ExampleSystem_FindCycle() {
+	sys := memsys.New(memsys.Config{Banks: 13, BankBusy: 6, CPUs: 2})
+	sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, 1))
+	sys.AddPort(1, "2", memsys.NewInfiniteStrided(0, 6))
+	cycle, err := sys.FindCycle(1 << 20)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(cycle.EffectiveBandwidth(), cycle.Kind(), cycle.DelayedPort())
+	// Output: 7/6 barrier 1
+}
+
+// Finite vector instructions: run until every stream has transferred
+// all of its elements.
+func ExampleSystem_RunUntilDone() {
+	sys := memsys.New(memsys.Config{Banks: 8, BankBusy: 2, CPUs: 1})
+	p := sys.AddPort(0, "1", memsys.NewStrided(0, 1, 64))
+	clocks, done := sys.RunUntilDone(10_000)
+	fmt.Println(clocks, done, p.Count.Grants)
+	// Output: 64 true 64
+}
+
+func ExampleSteadyBandwidth() {
+	// Fig. 2: conflict-free pair, b_eff = 2.
+	bw, err := memsys.SteadyBandwidth(
+		memsys.Config{Banks: 12, BankBusy: 3, CPUs: 2}, 1<<20,
+		memsys.StreamSpec{Start: 0, Distance: 1, CPU: 0},
+		memsys.StreamSpec{Start: 3, Distance: 7, CPU: 1},
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(bw)
+	// Output: 2
+}

@@ -1,0 +1,514 @@
+// Package memsys is a cycle-accurate simulator of the interleaved
+// memory system described in Section II of Oed & Lange (1985):
+//
+//   - m banks; an address i lives in bank j = i mod m (other mappings,
+//     e.g. skewing schemes, can be plugged in via BankMapper);
+//   - a bank is busy ("active") for n_c clock periods once a request is
+//     granted;
+//   - the memory is reached through p ports, each able to issue one
+//     request per clock; a blocked request — and everything queued
+//     behind it in that port — is delayed one clock and retried
+//     (dynamic conflict resolution);
+//   - the banks are divided into s | m sections; each CPU owns exactly
+//     one access path into each section, and a granted request occupies
+//     that path for one clock.
+//
+// Three conflict classes are distinguished, exactly as in the paper:
+//
+//  1. bank conflict — the requested bank is still active;
+//  2. simultaneous bank conflict — two or more ports using *different*
+//     access paths (i.e. of different CPUs) request the same inactive
+//     bank in the same clock; a priority rule picks the winner;
+//  3. section conflict — two or more ports of the *same* CPU request
+//     inactive banks within the same section and would need the same
+//     access path; a priority rule picks the winner.
+package memsys
+
+import "fmt"
+
+// SectionMapping selects how banks are distributed over sections.
+type SectionMapping int
+
+const (
+	// CyclicSections distributes banks cyclically: section = bank mod s.
+	// This is the paper's (and the Cray X-MP's) arrangement.
+	CyclicSections SectionMapping = iota
+	// ConsecutiveSections combines m/s consecutive banks into a section
+	// (section = bank / (m/s)), the arrangement Cheung & Smith propose
+	// to prevent linked conflicts (Fig. 9).
+	ConsecutiveSections
+)
+
+func (sm SectionMapping) String() string {
+	switch sm {
+	case CyclicSections:
+		return "cyclic"
+	case ConsecutiveSections:
+		return "consecutive"
+	default:
+		return fmt.Sprintf("SectionMapping(%d)", int(sm))
+	}
+}
+
+// PriorityRule selects how simultaneous and section conflicts are
+// arbitrated among ports.
+type PriorityRule int
+
+const (
+	// FixedPriority always prefers the lower port index (Fig. 8a).
+	FixedPriority PriorityRule = iota
+	// CyclicPriority rotates the highest-priority port by one position
+	// every clock period, the rule that resolves linked conflicts
+	// (Fig. 8b).
+	CyclicPriority
+)
+
+func (pr PriorityRule) String() string {
+	switch pr {
+	case FixedPriority:
+		return "fixed"
+	case CyclicPriority:
+		return "cyclic"
+	default:
+		return fmt.Sprintf("PriorityRule(%d)", int(pr))
+	}
+}
+
+// ConflictKind classifies why a request was delayed in a given clock.
+type ConflictKind int
+
+const (
+	NoConflict ConflictKind = iota
+	// BankConflict: access to an active bank was requested.
+	BankConflict
+	// SimultaneousConflict: the same inactive bank was requested by a
+	// higher-priority port of another CPU in the same clock.
+	SimultaneousConflict
+	// SectionConflict: the CPU's single access path into the bank's
+	// section was already taken this clock.
+	SectionConflict
+)
+
+func (k ConflictKind) String() string {
+	switch k {
+	case NoConflict:
+		return "none"
+	case BankConflict:
+		return "bank"
+	case SimultaneousConflict:
+		return "simultaneous"
+	case SectionConflict:
+		return "section"
+	default:
+		return fmt.Sprintf("ConflictKind(%d)", int(k))
+	}
+}
+
+// BankMapper maps a word address to a bank. The default is the paper's
+// j = i mod m; package skew provides skewing schemes.
+type BankMapper interface {
+	Bank(addr int64) int
+	// Banks returns m, the number of banks the mapper targets.
+	Banks() int
+}
+
+// ModuloMapper is the standard m-way interleaving j = i mod m.
+type ModuloMapper struct{ M int }
+
+// Bank implements BankMapper.
+func (mm ModuloMapper) Bank(addr int64) int {
+	b := addr % int64(mm.M)
+	if b < 0 {
+		b += int64(mm.M)
+	}
+	return int(b)
+}
+
+// Banks implements BankMapper.
+func (mm ModuloMapper) Banks() int { return mm.M }
+
+// Source produces the ordered access requests of one port. The
+// simulator calls Pending at most once per clock; a Source must keep
+// reporting the same request until Grant is called (a delayed request
+// stays pending — dynamic conflict resolution).
+type Source interface {
+	// Pending returns the word address of the port's current request,
+	// or ok = false if the port has nothing to ask this clock (either
+	// exhausted, or — for store ports — waiting for data).
+	Pending(clock int64) (addr int64, ok bool)
+	// Grant tells the source its pending request was serviced at clock;
+	// the source advances to its next element.
+	Grant(clock int64)
+	// Done reports that the source will never issue again.
+	Done() bool
+}
+
+// Counters aggregates what happened to one port.
+type Counters struct {
+	Grants       int64 // requests serviced
+	Bank         int64 // clocks delayed by bank conflicts
+	Simultaneous int64 // clocks delayed by simultaneous bank conflicts
+	Section      int64 // clocks delayed by section conflicts
+	Idle         int64 // clocks with no pending request
+}
+
+// Delays returns the total number of delayed clocks.
+func (c Counters) Delays() int64 { return c.Bank + c.Simultaneous + c.Section }
+
+// Conflicts returns the conflict counts as a (bank, simultaneous,
+// section) triple — the three series of Fig. 10c–e.
+func (c Counters) Conflicts() (bank, simultaneous, section int64) {
+	return c.Bank, c.Simultaneous, c.Section
+}
+
+// Port is one access port into the memory system.
+type Port struct {
+	ID    int // index within the System, also the fixed priority
+	CPU   int // which CPU's interconnection network the port belongs to
+	Label string
+	Src   Source
+	Count Counters
+}
+
+// Event notifies listeners (e.g. the timeline recorder) of per-clock
+// outcomes.
+type Event struct {
+	Clock   int64
+	Port    *Port
+	Bank    int
+	Kind    ConflictKind // NoConflict for a grant
+	Blocker *Port        // the port that caused a delay; nil for grants
+}
+
+// Listener receives one Event per port per clock in which the port had
+// a pending request.
+type Listener interface {
+	Observe(Event)
+}
+
+// Config describes a memory system.
+type Config struct {
+	Banks    int            // m > 0
+	Sections int            // s | m; 0 means s = m (a path per bank)
+	BankBusy int            // n_c >= 1
+	CPUs     int            // number of path groups; 0 means 1
+	Mapping  SectionMapping // bank -> section distribution
+	Priority PriorityRule   // arbitration among simultaneous requests
+}
+
+// Validate checks the structural assumptions (s | m, positive sizes).
+func (c Config) Validate() error {
+	if c.Banks <= 0 {
+		return fmt.Errorf("memsys: banks must be positive, got %d", c.Banks)
+	}
+	if c.BankBusy < 1 {
+		return fmt.Errorf("memsys: bank busy time must be >= 1, got %d", c.BankBusy)
+	}
+	s := c.Sections
+	if s == 0 {
+		s = c.Banks
+	}
+	if s < 1 || c.Banks%s != 0 {
+		return fmt.Errorf("memsys: sections %d must divide banks %d", c.Sections, c.Banks)
+	}
+	if c.CPUs < 0 {
+		return fmt.Errorf("memsys: negative CPU count %d", c.CPUs)
+	}
+	return nil
+}
+
+func (c Config) sections() int {
+	if c.Sections == 0 {
+		return c.Banks
+	}
+	return c.Sections
+}
+
+func (c Config) cpus() int {
+	if c.CPUs == 0 {
+		return 1
+	}
+	return c.CPUs
+}
+
+// System is a running memory system. Create with New, attach ports with
+// AddPort, then drive it with Step/Run/FindCycle.
+type System struct {
+	cfg    Config
+	mapper BankMapper
+	ports  []*Port
+
+	busy  []int   // per bank: remaining busy clocks (0 = idle)
+	owner []*Port // per bank: port currently being serviced (busy > 0)
+
+	// Per-clock scratch, stamped with the clock to avoid clearing.
+	bankStamp  []int64 // bank granted this clock
+	bankWinner []*Port
+	pathStamp  [][]int64 // [cpu][section] granted this clock
+	pathWinner [][]*Port
+
+	clock    int64
+	rr       int // rotating priority pointer (CyclicPriority)
+	listener Listener
+}
+
+// New creates a memory system with the default modulo bank mapping.
+// It panics on an invalid configuration (programming error).
+func New(cfg Config) *System {
+	return NewWithMapper(cfg, ModuloMapper{M: cfg.Banks})
+}
+
+// NewWithMapper creates a memory system with a custom address-to-bank
+// mapping (e.g. a skewing scheme).
+func NewWithMapper(cfg Config, mapper BankMapper) *System {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if mapper.Banks() != cfg.Banks {
+		panic(fmt.Sprintf("memsys: mapper targets %d banks, config has %d", mapper.Banks(), cfg.Banks))
+	}
+	s := &System{
+		cfg:    cfg,
+		mapper: mapper,
+		busy:   make([]int, cfg.Banks),
+		owner:  make([]*Port, cfg.Banks),
+
+		bankStamp:  make([]int64, cfg.Banks),
+		bankWinner: make([]*Port, cfg.Banks),
+	}
+	for i := range s.bankStamp {
+		s.bankStamp[i] = -1
+	}
+	nc := cfg.cpus()
+	ns := cfg.sections()
+	s.pathStamp = make([][]int64, nc)
+	s.pathWinner = make([][]*Port, nc)
+	for c := 0; c < nc; c++ {
+		s.pathStamp[c] = make([]int64, ns)
+		for k := range s.pathStamp[c] {
+			s.pathStamp[c][k] = -1
+		}
+		s.pathWinner[c] = make([]*Port, ns)
+	}
+	return s
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Mapper returns the address-to-bank mapping in use.
+func (s *System) Mapper() BankMapper { return s.mapper }
+
+// SetListener installs an event listener (nil to remove).
+func (s *System) SetListener(l Listener) { s.listener = l }
+
+// AddPort attaches a source as a new port on the given CPU and returns
+// the port. Ports arbitrate in ID order under FixedPriority.
+func (s *System) AddPort(cpu int, label string, src Source) *Port {
+	if cpu < 0 || cpu >= s.cfg.cpus() {
+		panic(fmt.Sprintf("memsys: CPU %d out of range [0,%d)", cpu, s.cfg.cpus()))
+	}
+	p := &Port{ID: len(s.ports), CPU: cpu, Label: label, Src: src}
+	s.ports = append(s.ports, p)
+	return p
+}
+
+// Ports returns the attached ports in ID order.
+func (s *System) Ports() []*Port { return s.ports }
+
+// Clock returns the number of clock periods simulated so far.
+func (s *System) Clock() int64 { return s.clock }
+
+// Section returns the section of a bank under the configured mapping.
+func (s *System) Section(bank int) int {
+	ns := s.cfg.sections()
+	switch s.cfg.Mapping {
+	case ConsecutiveSections:
+		return bank / (s.cfg.Banks / ns)
+	default:
+		return bank % ns
+	}
+}
+
+// BankBusy returns the remaining busy clocks of a bank (0 = idle).
+func (s *System) BankBusy(bank int) int { return s.busy[bank] }
+
+// BankOwner returns the port currently being serviced by the bank, or
+// nil if the bank is idle.
+func (s *System) BankOwner(bank int) *Port {
+	if s.busy[bank] == 0 {
+		return nil
+	}
+	return s.owner[bank]
+}
+
+// Step advances the simulation by one clock period: all ports holding a
+// pending request compete in priority order; winners occupy their bank
+// for n_c clocks and their path for this clock; losers are delayed and
+// classified. It returns the number of requests granted this clock.
+func (s *System) Step() int {
+	t := s.clock
+	order := s.arbitrationOrder()
+	granted := 0
+
+	for _, p := range order {
+		if p.Src == nil || p.Src.Done() {
+			continue
+		}
+		addr, ok := p.Src.Pending(t)
+		if !ok {
+			p.Count.Idle++
+			continue
+		}
+		bank := s.mapper.Bank(addr)
+		if bank < 0 || bank >= s.cfg.Banks {
+			panic(fmt.Sprintf("memsys: mapper produced bank %d out of [0,%d)", bank, s.cfg.Banks))
+		}
+		sec := s.Section(bank)
+
+		var kind ConflictKind
+		var blocker *Port
+		switch {
+		case s.bankStamp[bank] == t:
+			// The same bank was granted earlier this clock, i.e. it was
+			// inactive when both ports requested it: a simultaneous bank
+			// conflict (different CPUs) or a section conflict (same CPU,
+			// same path). This case must precede the busy check because
+			// the grant already marked the bank active.
+			w := s.bankWinner[bank]
+			if w.CPU != p.CPU {
+				kind, blocker = SimultaneousConflict, w
+			} else {
+				// Same CPU means the same access path: a section conflict
+				// by the paper's taxonomy (definition 3 subsumes the case
+				// because only one path into the section exists per CPU).
+				kind, blocker = SectionConflict, w
+			}
+		case s.busy[bank] > 0:
+			kind, blocker = BankConflict, s.owner[bank]
+		case s.pathStamp[p.CPU][sec] == t:
+			kind, blocker = SectionConflict, s.pathWinner[p.CPU][sec]
+		}
+
+		if kind == NoConflict {
+			s.busy[bank] = s.cfg.BankBusy
+			s.owner[bank] = p
+			s.bankStamp[bank] = t
+			s.bankWinner[bank] = p
+			s.pathStamp[p.CPU][sec] = t
+			s.pathWinner[p.CPU][sec] = p
+			p.Src.Grant(t)
+			p.Count.Grants++
+			granted++
+			s.emit(Event{Clock: t, Port: p, Bank: bank, Kind: NoConflict})
+		} else {
+			switch kind {
+			case BankConflict:
+				p.Count.Bank++
+			case SimultaneousConflict:
+				p.Count.Simultaneous++
+			case SectionConflict:
+				p.Count.Section++
+			}
+			s.emit(Event{Clock: t, Port: p, Bank: bank, Kind: kind, Blocker: blocker})
+		}
+	}
+
+	for b := range s.busy {
+		if s.busy[b] > 0 {
+			s.busy[b]--
+		}
+	}
+	if s.cfg.Priority == CyclicPriority && len(s.ports) > 0 {
+		s.rr = (s.rr + 1) % len(s.ports)
+	}
+	s.clock++
+	return granted
+}
+
+func (s *System) emit(e Event) {
+	if s.listener != nil {
+		s.listener.Observe(e)
+	}
+}
+
+// PriorityHolderAt returns the port that holds the highest priority in
+// the given clock period: the first port under FixedPriority, the
+// rotation holder under CyclicPriority (the rotation advances one
+// position per clock from zero). Nil when no ports are attached.
+func (s *System) PriorityHolderAt(t int64) *Port {
+	if len(s.ports) == 0 {
+		return nil
+	}
+	if s.cfg.Priority == CyclicPriority {
+		return s.ports[int(t%int64(len(s.ports)))]
+	}
+	return s.ports[0]
+}
+
+// arbitrationOrder returns the ports in this clock's priority order.
+func (s *System) arbitrationOrder() []*Port {
+	if s.cfg.Priority == FixedPriority || s.rr == 0 {
+		return s.ports
+	}
+	n := len(s.ports)
+	order := make([]*Port, 0, n)
+	for i := 0; i < n; i++ {
+		order = append(order, s.ports[(s.rr+i)%n])
+	}
+	return order
+}
+
+// Run advances the simulation by n clock periods and returns the total
+// number of grants.
+func (s *System) Run(n int64) int64 {
+	var total int64
+	for i := int64(0); i < n; i++ {
+		total += int64(s.Step())
+	}
+	return total
+}
+
+// RunUntilDone steps until every source is exhausted, or maxClocks
+// elapse. It returns the number of clocks stepped and whether all
+// sources finished.
+func (s *System) RunUntilDone(maxClocks int64) (clocks int64, done bool) {
+	for clocks = 0; clocks < maxClocks; clocks++ {
+		if s.allDone() {
+			return clocks, true
+		}
+		s.Step()
+	}
+	return clocks, s.allDone()
+}
+
+func (s *System) allDone() bool {
+	for _, p := range s.ports {
+		if p.Src != nil && !p.Src.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalGrants sums grants over all ports.
+func (s *System) TotalGrants() int64 {
+	var n int64
+	for _, p := range s.ports {
+		n += p.Count.Grants
+	}
+	return n
+}
+
+// TotalCounters sums the counters over all ports.
+func (s *System) TotalCounters() Counters {
+	var c Counters
+	for _, p := range s.ports {
+		c.Grants += p.Count.Grants
+		c.Bank += p.Count.Bank
+		c.Simultaneous += p.Count.Simultaneous
+		c.Section += p.Count.Section
+		c.Idle += p.Count.Idle
+	}
+	return c
+}

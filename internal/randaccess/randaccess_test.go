@@ -1,0 +1,131 @@
+package randaccess
+
+import (
+	"math"
+	"testing"
+
+	"ivm/internal/memsys"
+)
+
+func TestHellerman(t *testing.T) {
+	if got := Hellerman(16); math.Abs(got-math.Pow(16, 0.56)) > 1e-12 {
+		t.Errorf("Hellerman(16) = %v", got)
+	}
+	if Hellerman(1) != 1 {
+		t.Error("Hellerman(1) != 1")
+	}
+	// Monotone in m.
+	prev := 0.0
+	for m := 1; m <= 64; m *= 2 {
+		h := Hellerman(m)
+		if h <= prev {
+			t.Fatalf("not monotone at m=%d", m)
+		}
+		prev = h
+	}
+}
+
+func TestBinomialDistinct(t *testing.T) {
+	if got := BinomialDistinct(16, 0); got != 0 {
+		t.Errorf("p=0: %v", got)
+	}
+	if got := BinomialDistinct(16, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("p=1: %v", got)
+	}
+	// p -> infinity approaches m.
+	if got := BinomialDistinct(16, 10000); got < 15.99 {
+		t.Errorf("p=10000: %v", got)
+	}
+	// Monotone in p, bounded by min(p, m).
+	prev := 0.0
+	for p := 0; p <= 64; p++ {
+		v := BinomialDistinct(16, p)
+		if v < prev || v > 16 || v > float64(p) {
+			t.Fatalf("p=%d: %v (prev %v)", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestSourceDeterministic(t *testing.T) {
+	a := NewSource(16, 42)
+	b := NewSource(16, 42)
+	for i := 0; i < 100; i++ {
+		x, _ := a.Pending(0)
+		y, _ := b.Pending(0)
+		if x != y {
+			t.Fatal("same seed diverged")
+		}
+		if x < 0 || x >= 16 {
+			t.Fatalf("bank %d out of range", x)
+		}
+		a.Grant(0)
+		b.Grant(0)
+	}
+}
+
+func TestSourceHoldsPendingUntilGrant(t *testing.T) {
+	s := NewSource(16, 7)
+	x1, _ := s.Pending(0)
+	x2, _ := s.Pending(1)
+	if x1 != x2 {
+		t.Fatal("pending request changed before grant (resubmission model violated)")
+	}
+	s.Grant(1)
+	if s.Done() {
+		t.Fatal("random source is never done")
+	}
+}
+
+func TestSimulateBandwidthSanity(t *testing.T) {
+	cfg := memsys.Config{Banks: 16, BankBusy: 1, CPUs: 4}
+	r := Simulate(cfg, 4, 20000, 1)
+	// nc=1, 4 random requesters on 16 banks, resubmission: bandwidth
+	// must be close to (and below) the binomial drop estimate, and
+	// clearly above half of it.
+	bin := BinomialDistinct(16, 4) // ~3.63
+	if r.Bandwidth > float64(r.P) || r.Bandwidth <= 0 {
+		t.Fatalf("bandwidth %v out of range", r.Bandwidth)
+	}
+	if r.Bandwidth < 0.75*bin || r.Bandwidth > 1.05*bin {
+		t.Fatalf("bandwidth %v vs binomial %v: outside plausibility band", r.Bandwidth, bin)
+	}
+}
+
+func TestSimulateRespectsBankCapacity(t *testing.T) {
+	cfg := memsys.Config{Banks: 8, BankBusy: 4, CPUs: 8}
+	r := Simulate(cfg, 8, 20000, 3)
+	cap := float64(cfg.Banks) / float64(cfg.BankBusy)
+	if r.Bandwidth > cap {
+		t.Fatalf("bandwidth %v exceeds bank capacity %v", r.Bandwidth, cap)
+	}
+	if r.Bandwidth < 0.5*cap {
+		t.Fatalf("bandwidth %v suspiciously low (capacity %v)", r.Bandwidth, cap)
+	}
+}
+
+// The introduction's point, quantified: for conflict-free strides the
+// vector mode beats every random-access prediction; for the worst
+// stride it collapses far below them. Random-access models say nothing
+// useful about either case.
+func TestVectorVsRandomDivergence(t *testing.T) {
+	res := CompareStrides(16, 4, 4, []int{1, 8}, 20000)
+	if len(res) != 2 {
+		t.Fatalf("len = %d", len(res))
+	}
+	d1, d8 := res[0], res[1]
+	if d1.Vector < 3.9 {
+		t.Errorf("stride 1, 4 streams: vector bandwidth %v, want ~4 (conflict-free)", d1.Vector)
+	}
+	if d1.Random > d1.Vector {
+		t.Errorf("random (%v) should trail conflict-free vector mode (%v)", d1.Random, d1.Vector)
+	}
+	// Stride 8: r=2 < nc=4, every stream at 1/2; aggregate far below
+	// the binomial prediction for 4 ports.
+	if d8.Vector > 2.1 {
+		t.Errorf("stride 8 vector bandwidth %v, want ~2", d8.Vector)
+	}
+	if d8.Binomial < 3.5 {
+		t.Errorf("binomial prediction %v unexpectedly low", d8.Binomial)
+	}
+}

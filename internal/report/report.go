@@ -1,0 +1,190 @@
+// Package report generates the machine-made reproduction record: every
+// figure's steady state against the paper's value, the full-grid
+// analytic-vs-simulation agreement, the Fig. 10 series with analytic
+// verdicts, and the ablation summaries. cmd/ivmreport prints it; the
+// tests in this package pin its structure.
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"ivm/internal/explain"
+	"ivm/internal/figures"
+	"ivm/internal/machine"
+	"ivm/internal/randaccess"
+	"ivm/internal/sweep"
+	"ivm/internal/textplot"
+	"ivm/internal/xmp"
+)
+
+// Options scale the expensive parts of the report.
+type Options struct {
+	// TriadN is the triad vector length (paper: 1024).
+	TriadN int
+	// Grids lists the (m, n_c) systems to cross-validate exhaustively.
+	Grids [][2]int
+	// MaxInc bounds the ablation sweeps.
+	MaxInc int
+}
+
+// Defaults reproduces the full EXPERIMENTS.md record.
+func Defaults() Options {
+	return Options{
+		TriadN: 1024,
+		Grids:  [][2]int{{8, 2}, {12, 3}, {13, 4}, {16, 4}},
+		MaxInc: 16,
+	}
+}
+
+// Fast shrinks everything for quick runs and tests.
+func Fast() Options {
+	return Options{TriadN: 256, Grids: [][2]int{{8, 2}}, MaxInc: 4}
+}
+
+// Write renders the full report.
+func Write(w io.Writer, opts Options) error {
+	if opts.TriadN <= 0 || opts.MaxInc <= 0 {
+		return fmt.Errorf("report: invalid options %+v", opts)
+	}
+	fmt.Fprintln(w, "# Reproduction report — Oed & Lange (1985)")
+	fmt.Fprintln(w)
+	if err := Figures(w); err != nil {
+		return err
+	}
+	Grids(w, opts.Grids)
+	Triad(w, opts.TriadN)
+	Ablations(w, opts.TriadN/2, opts.MaxInc)
+	return nil
+}
+
+// Figures writes the Figures 2–9 table.
+func Figures(w io.Writer) error {
+	fmt.Fprintln(w, "## Figures 2–9: steady-state effective bandwidth")
+	fmt.Fprintln(w)
+	tbl := &textplot.Table{Header: []string{"figure", "measured", "paper", "cycle", "outcome"}}
+	for _, f := range figures.All() {
+		bw, cyc, err := f.SteadyBandwidth()
+		if err != nil {
+			return fmt.Errorf("report: Fig. %s: %w", f.ID, err)
+		}
+		paper := "(timeline only)"
+		if f.WantBandwidth.Num != 0 {
+			paper = f.WantBandwidth.String()
+		}
+		tbl.Add("Fig. "+f.ID, bw.String(), paper, cyc.Length, f.Outcome)
+	}
+	fmt.Fprint(w, tbl.String())
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Grids writes the exhaustive cross-validation summary, including the
+// section-theorem grid on the X-MP layout and the three-stream
+// capacity-bound sweep.
+func Grids(w io.Writer, grids [][2]int) {
+	fmt.Fprintln(w, "## Analytic model vs simulator (all pairs x all starts)")
+	fmt.Fprintln(w)
+	tbl := &textplot.Table{Header: []string{"m", "n_c", "pairs", "disagreements"}}
+	for _, g := range grids {
+		results := sweep.Grid(g[0], g[1])
+		s := sweep.Summarise(g[0], g[1], results)
+		tbl.Add(g[0], g[1], s.Pairs, len(s.Disagree))
+	}
+	fmt.Fprint(w, tbl.String())
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "## Section theorems vs simulator (one CPU, s < m)")
+	fmt.Fprintln(w)
+	tbl = &textplot.Table{Header: []string{"m", "s", "n_c", "pairs", "disagreements"}}
+	for _, g := range [][3]int{{12, 2, 2}, {16, 4, 4}} {
+		results := sweep.SectionGrid(g[0], g[1], g[2])
+		bad := 0
+		for _, r := range results {
+			if !r.Agree {
+				bad++
+			}
+		}
+		tbl.Add(g[0], g[1], g[2], len(results), bad)
+	}
+	fmt.Fprint(w, tbl.String())
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "## Three-stream capacity bounds")
+	fmt.Fprintln(w)
+	tr := sweep.SummariseTriples(sweep.SweepTriples(12, 3))
+	fmt.Fprintf(w, "m=12 n_c=3: %d triples, bound attained by %d, violated by %d\n\n",
+		tr.Triples, tr.Tight, tr.Violations)
+}
+
+// Triad writes the Fig. 10 tables with analytic verdicts.
+func Triad(w io.Writer, n int) {
+	cfg := machine.DefaultConfig()
+	fmt.Fprintf(w, "## Fig. 10: the triad, n=%d, other CPU saturating at d=1\n\n", n)
+	tbl := &textplot.Table{Header: []string{"INC", "clocks", "us", "bank", "section", "simult", "verdict"}}
+	for _, r := range xmp.TriadSweep(16, n, true, cfg) {
+		v := explain.TriadReport(r.INC).Verdicts[0]
+		verdict := fmt.Sprintf("%d(+)%d %s", v.Canonical[0], v.Canonical[1], v.Analysis.Regime)
+		if v.HasRole {
+			if v.WorkWins {
+				verdict += " (triad wins)"
+			} else {
+				verdict += " (triad delayed)"
+			}
+		}
+		tbl.Add(r.INC, r.Clocks, fmt.Sprintf("%.1f", r.Micros), r.Bank, r.Section, r.Simultaneous, verdict)
+	}
+	fmt.Fprint(w, tbl.String())
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "## Fig. 10b: the triad with the other CPU off\n\n")
+	tbl = &textplot.Table{Header: []string{"INC", "clocks", "us"}}
+	for _, r := range xmp.TriadSweep(16, n, false, cfg) {
+		tbl.Add(r.INC, r.Clocks, fmt.Sprintf("%.1f", r.Micros))
+	}
+	fmt.Fprint(w, tbl.String())
+	fmt.Fprintln(w)
+}
+
+// Ablations writes the conclusion-driven studies.
+func Ablations(w io.Writer, n, maxInc int) {
+	cfg := machine.DefaultConfig()
+
+	fmt.Fprintln(w, "## Multitasking the triad (conclusion)")
+	fmt.Fprintln(w)
+	tbl := &textplot.Table{Header: []string{"INC", "single", "split", "speedup"}}
+	for _, r := range xmp.MultitaskSweep(maxInc, n, cfg) {
+		tbl.Add(r.INC, r.SingleClocks, r.SplitClocks, fmt.Sprintf("%.2f", r.Speedup))
+	}
+	fmt.Fprint(w, tbl.String())
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "## Linear bank skewing on the full machine")
+	fmt.Fprintln(w)
+	tbl = &textplot.Table{Header: []string{"INC", "plain", "skewed"}}
+	for inc := 1; inc <= maxInc; inc++ {
+		p := xmp.TriadExperiment(inc, n, true, cfg)
+		s := xmp.SkewedTriadExperiment(inc, n, xmp.LinearSkewMapper(), cfg)
+		tbl.Add(inc, p.Clocks, s.Clocks)
+	}
+	fmt.Fprint(w, tbl.String())
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "## Matrix access patterns (conclusion's dimensioning advice)")
+	fmt.Fprintln(w)
+	tbl = &textplot.Table{Header: []string{"ldim", "pattern", "distance", "ceiling", "clocks"}}
+	for _, r := range xmp.MatrixStudy([]int{64, 65}, 192, cfg) {
+		tbl.Add(r.LeadingDim, r.Pattern.String(), r.Distance, fmt.Sprintf("%.2f", r.Predicted), r.Clocks)
+	}
+	fmt.Fprint(w, tbl.String())
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "## Classical random-access baselines (intro refs [1]-[5])")
+	fmt.Fprintln(w)
+	tbl = &textplot.Table{Header: []string{"distance", "vector", "random", "binomial", "Hellerman"}}
+	for _, r := range randaccess.CompareStrides(16, 4, 4, []int{1, 8, 16}, 20000) {
+		tbl.Add(r.Distance, fmt.Sprintf("%.3f", r.Vector), fmt.Sprintf("%.3f", r.Random),
+			fmt.Sprintf("%.3f", r.Binomial), fmt.Sprintf("%.3f", randaccess.Hellerman(16)))
+	}
+	fmt.Fprint(w, tbl.String())
+}

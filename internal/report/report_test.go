@@ -1,0 +1,72 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteFastReport(t *testing.T) {
+	var b strings.Builder
+	if err := Write(&b, Fast()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# Reproduction report",
+		"## Figures 2–9",
+		"Fig. 8a  3/2       3/2",
+		"## Analytic model vs simulator",
+		"disagreements",
+		"## Fig. 10:",
+		"unique-barrier (triad wins)",
+		"## Multitasking",
+		"## Linear bank skewing",
+		"## Matrix access patterns",
+		"## Classical random-access baselines",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// The grid summary must report zero disagreements: inspect only the
+	// grid section's data rows.
+	_, rest, ok := strings.Cut(out, "## Analytic model vs simulator")
+	if !ok {
+		t.Fatal("grid section missing")
+	}
+	section, _, _ := strings.Cut(rest, "##")
+	for _, line := range strings.Split(section, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 4 && fields[0] != "m" && !strings.HasPrefix(fields[0], "-") {
+			if fields[3] != "0" {
+				t.Errorf("grid row reports disagreements: %q", line)
+			}
+		}
+	}
+}
+
+func TestWriteValidatesOptions(t *testing.T) {
+	var b strings.Builder
+	if err := Write(&b, Options{}); err == nil {
+		t.Fatal("zero options accepted")
+	}
+}
+
+func TestFiguresSection(t *testing.T) {
+	var b strings.Builder
+	if err := Figures(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"Fig. 2", "Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6", "Fig. 7", "Fig. 8a", "Fig. 8b", "Fig. 9"} {
+		if !strings.Contains(b.String(), id) {
+			t.Errorf("missing %s", id)
+		}
+	}
+}
+
+func TestDefaultsCoverPaperScale(t *testing.T) {
+	d := Defaults()
+	if d.TriadN != 1024 || d.MaxInc != 16 || len(d.Grids) < 4 {
+		t.Fatalf("defaults %+v", d)
+	}
+}

@@ -1,0 +1,28 @@
+package stream_test
+
+import (
+	"fmt"
+
+	"ivm/internal/stream"
+)
+
+func ExampleStream_ReturnNumber() {
+	s := stream.Infinite(16, 0, 6)
+	fmt.Println(s.ReturnNumber(), s.AccessSet())
+	// Output: 8 [0 2 4 6 8 10 12 14]
+}
+
+// The Appendix's worked example: 1 (+) 3 mod 16 is isomorphic to
+// 11 (+) 1 (multiply by the unit 11).
+func ExamplePairIsomorphic() {
+	fmt.Println(stream.PairIsomorphic(16, 1, 3, 11, 1))
+	// Output: true
+}
+
+// Normalize transports a pair into the canonical position d1 | m used
+// by Theorems 4-7.
+func ExampleNormalize() {
+	nd1, nd2, k := stream.Normalize(16, 11, 1)
+	fmt.Println(nd1, nd2, k)
+	// Output: 1 3 3
+}

@@ -1,0 +1,121 @@
+package stream
+
+import (
+	"fmt"
+
+	"ivm/internal/modmath"
+)
+
+// The Appendix of the paper establishes that competing distance pairs
+// are isomorphic under multiplication by a unit of Z_m:
+//
+//	d1 (+) d2  ==  k*d1 (+) k*d2 (mod m),  gcd(k, m) = 1,
+//
+// because renumbering the banks j -> k*j mod m is a bijection that maps
+// the one access pattern onto the other. The theorems of Section III
+// are stated for d1 | m; Normalize produces the unit that transports an
+// arbitrary pair into that canonical position.
+
+// PairIsomorphic reports whether the pairs (d1, d2) and (e1, e2) are
+// isomorphic modulo m, i.e. whether a unit k exists with
+// k*d1 = e1 and k*d2 = e2 (mod m), or with the roles of e1 and e2
+// swapped (the two streams are not ordered).
+func PairIsomorphic(m, d1, d2, e1, e2 int) bool {
+	d1, d2 = modmath.Mod(d1, m), modmath.Mod(d2, m)
+	e1, e2 = modmath.Mod(e1, m), modmath.Mod(e2, m)
+	for _, k := range modmath.Units(m) {
+		k1 := modmath.Mod(k*d1, m)
+		k2 := modmath.Mod(k*d2, m)
+		if (k1 == e1 && k2 == e2) || (k1 == e2 && k2 == e1) {
+			return true
+		}
+	}
+	// m == 1: every pair is (0,0).
+	return m == 1
+}
+
+// Normalize returns a unit k modulo m such that (k*d1) mod m divides m,
+// together with the transported distances nd1 = k*d1 mod m and
+// nd2 = k*d2 mod m. This is the canonical position assumed by
+// Theorems 3-7 ("in the following we assume ... d1 | m; other values of
+// d1 are isomorphic to that case").
+//
+// For d1 with f1 = gcd(m, d1), nd1 always equals f1. Normalize panics
+// if m <= 0; d1 = 0 is returned unchanged with k = 1 (gcd(m,0) = m and
+// m | m, so the pair is already canonical).
+func Normalize(m, d1, d2 int) (nd1, nd2, k int) {
+	if m <= 0 {
+		panic(fmt.Sprintf("stream: non-positive bank count %d", m))
+	}
+	d1, d2 = modmath.Mod(d1, m), modmath.Mod(d2, m)
+	if d1 == 0 {
+		return 0, d2, 1
+	}
+	f1 := modmath.GCD(m, d1)
+	// d1 = f1*d1', gcd(d1', m/f1) = 1. Solve k*d1' = 1 (mod m/f1) and
+	// lift k to a unit of Z_m: among k + t*(m/f1), t = 0..f1-1, at least
+	// one is coprime to m (the residues k + t*(m/f1) cover all lifts of
+	// the unit k of Z_{m/f1}, and units of Z_{m/f1} always lift).
+	mf := m / f1
+	d1p := d1 / f1
+	inv, ok := modmath.Inverse(d1p, mf)
+	if !ok {
+		panic(fmt.Sprintf("stream: internal error, %d not invertible mod %d", d1p, mf))
+	}
+	if mf == 1 {
+		inv = 1 // Inverse mod 1 returns 0; any unit works, use 1.
+	}
+	for t := 0; t < f1; t++ {
+		cand := inv + t*mf
+		if cand == 0 {
+			continue
+		}
+		if modmath.Coprime(cand, m) {
+			k = cand
+			break
+		}
+	}
+	if k == 0 {
+		// Exhaustive fallback: scan all units (cannot happen for the
+		// lift above, but keeps the function total).
+		for _, u := range modmath.Units(m) {
+			if modmath.Divides(modmath.Mod(u*d1, m), m) && modmath.Mod(u*d1, m) != 0 {
+				k = u
+				break
+			}
+		}
+	}
+	if k == 0 {
+		k = 1
+	}
+	nd1 = modmath.Mod(k*d1, m)
+	nd2 = modmath.Mod(k*d2, m)
+	return nd1, nd2, k
+}
+
+// CanonicalPair transports (d1, d2) so that the smaller-gcd stream is
+// first and its distance divides m, matching the hypotheses
+// "d1 | m; d2 > d1" used by Theorems 4-7 where possible. It returns the
+// transported pair (nd1, nd2), the unit k used, and swapped, which
+// tells whether the stream roles were exchanged.
+func CanonicalPair(m, d1, d2 int) (nd1, nd2, k int, swapped bool) {
+	d1, d2 = modmath.Mod(d1, m), modmath.Mod(d2, m)
+	f1 := modmath.GCD(m, d1)
+	f2 := modmath.GCD(m, d2)
+	if f1 == 0 {
+		f1 = m
+	}
+	if f2 == 0 {
+		f2 = m
+	}
+	// The stream with the smaller gcd has the larger return number; the
+	// barrier theorems make the *dividing* (smaller, after normalising)
+	// distance stream "1". Choose the stream whose normalised distance
+	// f = gcd(m, d) is smaller as stream 1.
+	if f2 < f1 || (f2 == f1 && modmath.Mod(d2, m) != 0 && modmath.Mod(d1, m) == 0) {
+		d1, d2 = d2, d1
+		swapped = true
+	}
+	nd1, nd2, k = Normalize(m, d1, d2)
+	return nd1, nd2, k, swapped
+}

@@ -1,0 +1,85 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSectionGridAgrees(t *testing.T) {
+	for _, g := range []struct{ m, s, nc int }{
+		{12, 2, 2}, {12, 3, 3}, {16, 4, 4}, {8, 2, 2},
+	} {
+		results := SectionGrid(g.m, g.s, g.nc)
+		if len(results) == 0 {
+			t.Fatalf("m=%d s=%d nc=%d: empty grid", g.m, g.s, g.nc)
+		}
+		for _, r := range results {
+			if !r.Agree {
+				t.Errorf("m=%d s=%d nc=%d d1=%d d2=%d: disagreement", r.M, r.S, r.NC, r.D1, r.D2)
+			}
+			if r.TheoryFree && r.SimFreeStarts == 0 {
+				t.Errorf("m=%d s=%d nc=%d d1=%d d2=%d: theory-free but no simulated free start",
+					r.M, r.S, r.NC, r.D1, r.D2)
+			}
+		}
+	}
+}
+
+func TestSectionTableRendering(t *testing.T) {
+	results := SectionGrid(8, 2, 2)
+	out := SectionTable(results)
+	if !strings.Contains(out, "theory free@") || !strings.Contains(out, "sim free starts") {
+		t.Fatalf("table:\n%s", out)
+	}
+}
+
+// Fig. 7's pair appears in the section grid as theory-free at offset 3.
+func TestSectionGridContainsFig7(t *testing.T) {
+	r := SweepSectionPair(12, 2, 2, 1, 1)
+	if !r.TheoryFree || r.TheoryStart != 3 {
+		t.Fatalf("Fig. 7 pair: %+v", r)
+	}
+	if !r.Agree {
+		t.Fatal("Fig. 7 pair disagrees")
+	}
+	if r.SimFreeStarts == 0 {
+		t.Fatal("no simulated free start for Fig. 7's pair")
+	}
+}
+
+func TestTripleSweepBoundsHold(t *testing.T) {
+	results := SweepTriples(8, 2)
+	s := SummariseTriples(results)
+	if s.Violations != 0 {
+		t.Fatalf("%d capacity-bound violations", s.Violations)
+	}
+	if s.Triples == 0 || s.Tight == 0 {
+		t.Fatalf("summary %+v: expected some tight triples", s)
+	}
+	// All-unit-stride triple with spread starts is conflict-free: bound
+	// 3, attained.
+	for _, r := range results {
+		if r.D == [3]int{1, 1, 1} {
+			if !r.BoundTight || r.Bandwidth.Float() != 3 {
+				t.Fatalf("unit triple: %+v", r)
+			}
+		}
+	}
+}
+
+func TestTripleSweepXMPScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16-bank triple sweep")
+	}
+	results := SweepTriples(16, 4)
+	s := SummariseTriples(results)
+	if s.Violations != 0 {
+		t.Fatalf("%d violations at X-MP scale", s.Violations)
+	}
+	// The bound should be attained reasonably often (conflict-free and
+	// saturated triples) but not always (barrier triples sit strictly
+	// inside it).
+	if s.Tight == 0 || s.Tight == s.Triples {
+		t.Fatalf("tightness degenerate: %d/%d", s.Tight, s.Triples)
+	}
+}

@@ -1,0 +1,102 @@
+// Package textplot renders small ASCII charts for the experiment
+// drivers: horizontal bar charts for the Fig. 10-style series (one bar
+// per stride) and aligned text tables. Stdlib only, deterministic
+// output, suitable for golden-file comparison.
+package textplot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is a labelled sequence of y values.
+type Series struct {
+	Title  string
+	Labels []string
+	Values []float64
+	Unit   string
+}
+
+// Bars renders the series as a horizontal bar chart of the given width
+// (characters available for the longest bar). Values are scaled
+// linearly from zero; negative values are clamped to zero.
+func Bars(s Series, width int) string {
+	if width < 1 {
+		width = 40
+	}
+	if len(s.Labels) != len(s.Values) {
+		panic(fmt.Sprintf("textplot: %d labels vs %d values", len(s.Labels), len(s.Values)))
+	}
+	maxV := 0.0
+	labelW := 0
+	for i, v := range s.Values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(s.Labels[i]) > labelW {
+			labelW = len(s.Labels[i])
+		}
+	}
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "%s\n", s.Title)
+	}
+	for i, v := range s.Values {
+		n := 0
+		if maxV > 0 && v > 0 {
+			n = int(v/maxV*float64(width) + 0.5)
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.4g%s\n", labelW, s.Labels[i], strings.Repeat("#", n), v, s.Unit)
+	}
+	return b.String()
+}
+
+// Table renders rows as an aligned text table with a header.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row; cells are stringified with %v.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with column alignment.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarsBasic(t *testing.T) {
+	s := Series{
+		Title:  "triad",
+		Labels: []string{"INC=1", "INC=2"},
+		Values: []float64{10, 20},
+		Unit:   "us",
+	}
+	out := Bars(s, 10)
+	if !strings.Contains(out, "triad") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[2], strings.Repeat("#", 10)) {
+		t.Fatalf("max bar not full width: %q", lines[2])
+	}
+	if !strings.Contains(lines[1], "#####") || strings.Contains(lines[1], "######") {
+		t.Fatalf("half bar wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[1], "10us") {
+		t.Fatalf("value/unit missing: %q", lines[1])
+	}
+}
+
+func TestBarsZeroAndNegative(t *testing.T) {
+	out := Bars(Series{Labels: []string{"a", "b"}, Values: []float64{0, -5}}, 10)
+	if strings.Contains(out, "#") {
+		t.Fatalf("zero/negative values must have empty bars:\n%s", out)
+	}
+}
+
+func TestBarsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched labels/values did not panic")
+		}
+	}()
+	Bars(Series{Labels: []string{"a"}, Values: []float64{1, 2}}, 10)
+}
+
+func TestTableAlignment(t *testing.T) {
+	tbl := &Table{Header: []string{"x", "value"}}
+	tbl.Add(1, "short")
+	tbl.Add(100, "longer-value")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "-") {
+		t.Fatalf("separator missing: %q", lines[1])
+	}
+	// All rows same width after alignment.
+	w := len(lines[1])
+	for _, ln := range lines[2:] {
+		if len(strings.TrimRight(ln, " ")) > w {
+			t.Fatalf("row wider than separator: %q", ln)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ivm/internal/machine"
+	"ivm/internal/vector"
+)
+
+// Gather/scatter (indexed) workloads. The paper analyses equally
+// spaced streams; later X-MP models added gather/scatter hardware whose
+// bank behaviour is index-dependent. These generators produce the
+// canonical index patterns used to study it:
+//
+//   - Permutation: a seeded pseudo-random permutation of the index
+//     space (list-access traffic, the classical random-access regime);
+//   - SameBank: the adversarial pattern hitting one bank with every
+//     element;
+//   - StridedIndex: indices equivalent to a plain strided access, for
+//     calibrating gather overhead against the direct stream.
+
+// PermutationIndices returns a seeded pseudo-random permutation of
+// [0, n) as gather indices.
+func PermutationIndices(n int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	idx := make([]int64, n)
+	for i, v := range rng.Perm(n) {
+		idx[i] = int64(v)
+	}
+	return idx
+}
+
+// SameBankIndices returns n indices that all map to the same bank under
+// m-way modulo interleaving: 0, m, 2m, …
+func SameBankIndices(n, m int) []int64 {
+	idx := make([]int64, n)
+	for i := range idx {
+		idx[i] = int64(i * m)
+	}
+	return idx
+}
+
+// StridedIndices returns indices equivalent to a strided stream:
+// 0, stride, 2*stride, …
+func StridedIndices(n int, stride int64) []int64 {
+	idx := make([]int64, n)
+	for i := range idx {
+		idx[i] = int64(i) * stride
+	}
+	return idx
+}
+
+// Gather lowers A(I) = B(IX(I)): an indexed load chained into a strided
+// store, strip-mined like the other kernels. idx must have at least n
+// entries; B must be large enough for the largest index.
+func Gather(a, b *vector.Array, idx []int64, n int, cfg machine.Config) []machine.Instr {
+	cfg = fill(cfg)
+	if len(idx) < n {
+		panic(fmt.Sprintf("workload: %d indices for n = %d", len(idx), n))
+	}
+	var prog []machine.Instr
+	offset := 0
+	for si, sn := range strips(n, cfg.VectorLength) {
+		prog = append(prog,
+			machine.Instr{Op: machine.OpLoad, Dst: 0, Base: b.Addr(1), Indices: idx[offset : offset+sn], N: sn, IssueDelay: stripDelay(si, cfg)},
+			machine.Instr{Op: machine.OpStore, Src1: 0, Base: a.Addr(1 + offset), Stride: 1, N: sn},
+		)
+		offset += sn
+	}
+	return prog
+}
+
+// Scatter lowers A(IX(I)) = B(I): a strided load chained into an
+// indexed store.
+func Scatter(a, b *vector.Array, idx []int64, n int, cfg machine.Config) []machine.Instr {
+	cfg = fill(cfg)
+	if len(idx) < n {
+		panic(fmt.Sprintf("workload: %d indices for n = %d", len(idx), n))
+	}
+	var prog []machine.Instr
+	offset := 0
+	for si, sn := range strips(n, cfg.VectorLength) {
+		prog = append(prog,
+			machine.Instr{Op: machine.OpLoad, Dst: 0, Base: b.Addr(1 + offset), Stride: 1, N: sn, IssueDelay: stripDelay(si, cfg)},
+			machine.Instr{Op: machine.OpStore, Src1: 0, Base: a.Addr(1), Indices: idx[offset : offset+sn], N: sn},
+		)
+		offset += sn
+	}
+	return prog
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"testing"
+
+	"ivm/internal/machine"
+	"ivm/internal/memsys"
+	"ivm/internal/vector"
+)
+
+func gatherSim(t *testing.T, prog []machine.Instr) (*machine.Simulation, int64) {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	if err := cfg.Validate(prog); err != nil {
+		t.Fatal(err)
+	}
+	sim := machine.NewSimulation(memsys.Config{Banks: 16, Sections: 4, BankBusy: 4, CPUs: 2}, 1, cfg)
+	sim.CPUs[0].LoadProgram(prog)
+	clocks, done := sim.Run(1 << 22)
+	if !done {
+		t.Fatal("did not finish")
+	}
+	return sim, clocks
+}
+
+func TestIndexGenerators(t *testing.T) {
+	idx := PermutationIndices(64, 1)
+	seen := map[int64]bool{}
+	for _, v := range idx {
+		if v < 0 || v >= 64 || seen[v] {
+			t.Fatalf("not a permutation: %v", idx)
+		}
+		seen[v] = true
+	}
+	if got := PermutationIndices(64, 1); got[0] != idx[0] {
+		t.Error("seeded permutation not deterministic")
+	}
+	sb := SameBankIndices(4, 16)
+	for i, v := range sb {
+		if v != int64(16*i) {
+			t.Fatalf("SameBankIndices = %v", sb)
+		}
+	}
+	st := StridedIndices(4, 3)
+	for i, v := range st {
+		if v != int64(3*i) {
+			t.Fatalf("StridedIndices = %v", st)
+		}
+	}
+}
+
+// A gather with unit-stride-equivalent indices behaves like the copy
+// kernel: full-speed transfer.
+func TestGatherStridedEquivalence(t *testing.T) {
+	cb := vector.NewCommonBlock(0)
+	a := cb.Declare("A", 4096)
+	b := cb.Declare("B", 4096)
+	n := 256
+	gather := Gather(a, b, StridedIndices(n, 1), n, machine.DefaultConfig())
+	_, gClocks := gatherSim(t, gather)
+	copyProg := Copy(a, b, n, 1, machine.DefaultConfig())
+	_, cClocks := gatherSim(t, copyProg)
+	if diff := gClocks - cClocks; diff < -4 || diff > 4 {
+		t.Fatalf("gather with unit indices took %d, copy %d", gClocks, cClocks)
+	}
+}
+
+// The adversarial same-bank gather is throttled to one grant per n_c
+// clocks on its load stream.
+func TestGatherSameBankWorstCase(t *testing.T) {
+	cb := vector.NewCommonBlock(0)
+	a := cb.Declare("A", 8192)
+	b := cb.Declare("B", 8192)
+	n := 128
+	fast := Gather(a, b, StridedIndices(n, 1), n, machine.DefaultConfig())
+	slow := Gather(a, b, SameBankIndices(n, 16), n, machine.DefaultConfig())
+	_, fastClocks := gatherSim(t, fast)
+	_, slowClocks := gatherSim(t, slow)
+	if slowClocks < 3*fastClocks {
+		t.Fatalf("same-bank gather (%d) should be ~4x slower than unit gather (%d)", slowClocks, fastClocks)
+	}
+	sim, _ := gatherSim(t, slow)
+	if sim.CPUs[0].Ports()[0].Count.Bank == 0 {
+		t.Fatal("expected bank conflicts on the same-bank gather")
+	}
+}
+
+// A random permutation gather lands between the two extremes.
+func TestGatherPermutationBetweenExtremes(t *testing.T) {
+	cb := vector.NewCommonBlock(0)
+	a := cb.Declare("A", 8192)
+	b := cb.Declare("B", 8192)
+	n := 256
+	_, unit := gatherSim(t, Gather(a, b, StridedIndices(n, 1), n, machine.DefaultConfig()))
+	_, perm := gatherSim(t, Gather(a, b, PermutationIndices(n, 7), n, machine.DefaultConfig()))
+	_, worst := gatherSim(t, Gather(a, b, SameBankIndices(n, 16), n, machine.DefaultConfig()))
+	if !(unit <= perm && perm <= worst) {
+		t.Fatalf("ordering violated: unit=%d perm=%d worst=%d", unit, perm, worst)
+	}
+}
+
+// Scatter conservation: every element is stored exactly once.
+func TestScatterConservation(t *testing.T) {
+	cb := vector.NewCommonBlock(0)
+	a := cb.Declare("A", 8192)
+	b := cb.Declare("B", 8192)
+	n := 192
+	sim, _ := gatherSim(t, Scatter(a, b, PermutationIndices(n, 3), n, machine.DefaultConfig()))
+	ports := sim.CPUs[0].Ports()
+	if got := ports[2].Count.Grants; got != int64(n) {
+		t.Fatalf("store grants = %d, want %d", got, n)
+	}
+	if got := ports[0].Count.Grants + ports[1].Count.Grants; got != int64(n) {
+		t.Fatalf("load grants = %d, want %d", got, n)
+	}
+}
+
+func TestGatherValidatesIndexCount(t *testing.T) {
+	cb := vector.NewCommonBlock(0)
+	a := cb.Declare("A", 128)
+	b := cb.Declare("B", 128)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short index vector did not panic")
+		}
+	}()
+	Gather(a, b, StridedIndices(4, 1), 8, machine.DefaultConfig())
+}
+
+func TestInstrAddrIndexed(t *testing.T) {
+	in := machine.Instr{Op: machine.OpLoad, Base: 100, Indices: []int64{5, 0, 9}, N: 3}
+	if in.Addr(0) != 105 || in.Addr(2) != 109 {
+		t.Fatalf("Addr wrong: %d %d", in.Addr(0), in.Addr(2))
+	}
+	in = machine.Instr{Op: machine.OpLoad, Base: 100, Stride: 4, N: 3}
+	if in.Addr(2) != 108 {
+		t.Fatalf("strided Addr = %d", in.Addr(2))
+	}
+}

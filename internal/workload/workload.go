@@ -1,0 +1,143 @@
+// Package workload lowers the Fortran loops of Section IV into
+// strip-mined vector programs for the machine model: the triad the
+// paper measures, plus the other elementary kernels (copy, scale,
+// axpy, vector add) used by the examples and the ablation benches.
+package workload
+
+import (
+	"fmt"
+
+	"ivm/internal/machine"
+	"ivm/internal/vector"
+)
+
+// strips cuts n elements into machine-register-sized pieces.
+func strips(n, vl int) []int {
+	if n <= 0 {
+		panic(fmt.Sprintf("workload: vector length %d", n))
+	}
+	var out []int
+	for n > 0 {
+		s := n
+		if s > vl {
+			s = vl
+		}
+		out = append(out, s)
+		n -= s
+	}
+	return out
+}
+
+// stripDelay returns the IssueDelay of the first instruction of strip
+// i: every strip after the first pays the scalar loop overhead.
+func stripDelay(i int, cfg machine.Config) int {
+	if i == 0 {
+		return 0
+	}
+	return cfg.StripOverhead
+}
+
+// Triad lowers
+//
+//	DO 1 I = 1, N*INC, INC
+//	1  A(I) = B(I) + C(I)*D(I)
+//
+// into the port schedule the X-MP hardware constraints force per
+// 64-element strip:
+//
+//	V0 <- C(I)        (load port)
+//	V1 <- D(I)        (second load port, concurrent)
+//	V2 <- V0 * V1     (multiply, chained)
+//	V3 <- B(I)        (first load port to free up)
+//	V4 <- V2 + V3     (add, chained)
+//	A(I) <- V4        (store port, chained)
+//
+// "By N*INC we indicate that independent of the increment the vector
+// length is n": every stream transfers exactly n elements.
+func Triad(a, b, c, d *vector.Array, n, inc int, cfg machine.Config) []machine.Instr {
+	return TriadAt(a, b, c, d, n, inc, 0, cfg)
+}
+
+// TriadAt lowers the triad over n elements starting at element
+// `startElem` of the strided index space (subscripts
+// 1 + (startElem + k)*inc): the building block for multitasked loop
+// halves, where each CPU takes a contiguous chunk of the iteration
+// space.
+func TriadAt(a, b, c, d *vector.Array, n, inc, startElem int, cfg machine.Config) []machine.Instr {
+	cfg = fill(cfg)
+	var prog []machine.Instr
+	offset := startElem // element offset into the strided index space
+	for si, sn := range strips(n, cfg.VectorLength) {
+		base := func(arr *vector.Array) int64 {
+			return arr.Addr(1 + offset*inc)
+		}
+		stride := int64(inc)
+		prog = append(prog,
+			machine.Instr{Op: machine.OpLoad, Dst: 0, Base: base(c), Stride: stride, N: sn, IssueDelay: stripDelay(si, cfg)},
+			machine.Instr{Op: machine.OpLoad, Dst: 1, Base: base(d), Stride: stride, N: sn},
+			machine.Instr{Op: machine.OpMul, Dst: 2, Src1: 0, Src2: 1, N: sn},
+			machine.Instr{Op: machine.OpLoad, Dst: 3, Base: base(b), Stride: stride, N: sn},
+			machine.Instr{Op: machine.OpAdd, Dst: 4, Src1: 2, Src2: 3, N: sn},
+			machine.Instr{Op: machine.OpStore, Src1: 4, Base: base(a), Stride: stride, N: sn},
+		)
+		offset += sn
+	}
+	return prog
+}
+
+// Copy lowers A(I) = B(I) over the strided index space.
+func Copy(a, b *vector.Array, n, inc int, cfg machine.Config) []machine.Instr {
+	cfg = fill(cfg)
+	var prog []machine.Instr
+	offset := 0
+	for si, sn := range strips(n, cfg.VectorLength) {
+		prog = append(prog,
+			machine.Instr{Op: machine.OpLoad, Dst: 0, Base: b.Addr(1 + offset*inc), Stride: int64(inc), N: sn, IssueDelay: stripDelay(si, cfg)},
+			machine.Instr{Op: machine.OpStore, Src1: 0, Base: a.Addr(1 + offset*inc), Stride: int64(inc), N: sn},
+		)
+		offset += sn
+	}
+	return prog
+}
+
+// VAdd lowers A(I) = B(I) + C(I).
+func VAdd(a, b, c *vector.Array, n, inc int, cfg machine.Config) []machine.Instr {
+	cfg = fill(cfg)
+	var prog []machine.Instr
+	offset := 0
+	for si, sn := range strips(n, cfg.VectorLength) {
+		base := func(arr *vector.Array) int64 { return arr.Addr(1 + offset*inc) }
+		prog = append(prog,
+			machine.Instr{Op: machine.OpLoad, Dst: 0, Base: base(b), Stride: int64(inc), N: sn, IssueDelay: stripDelay(si, cfg)},
+			machine.Instr{Op: machine.OpLoad, Dst: 1, Base: base(c), Stride: int64(inc), N: sn},
+			machine.Instr{Op: machine.OpAdd, Dst: 2, Src1: 0, Src2: 1, N: sn},
+			machine.Instr{Op: machine.OpStore, Src1: 2, Base: base(a), Stride: int64(inc), N: sn},
+		)
+		offset += sn
+	}
+	return prog
+}
+
+// AXPY lowers A(I) = A(I) + S*B(I) (the scalar multiply is modelled as
+// a one-operand pipeline pass through the multiply unit: V1 <- V0*V0's
+// slot is taken by the broadcast; memory behaviour, which is what the
+// paper studies, is identical).
+func AXPY(a, b *vector.Array, n, inc int, cfg machine.Config) []machine.Instr {
+	cfg = fill(cfg)
+	var prog []machine.Instr
+	offset := 0
+	for si, sn := range strips(n, cfg.VectorLength) {
+		base := func(arr *vector.Array) int64 { return arr.Addr(1 + offset*inc) }
+		prog = append(prog,
+			machine.Instr{Op: machine.OpLoad, Dst: 0, Base: base(b), Stride: int64(inc), N: sn, IssueDelay: stripDelay(si, cfg)},
+			machine.Instr{Op: machine.OpMul, Dst: 1, Src1: 0, Src2: 0, N: sn},
+			machine.Instr{Op: machine.OpLoad, Dst: 2, Base: base(a), Stride: int64(inc), N: sn},
+			machine.Instr{Op: machine.OpAdd, Dst: 3, Src1: 1, Src2: 2, N: sn},
+			machine.Instr{Op: machine.OpStore, Src1: 3, Base: base(a), Stride: int64(inc), N: sn},
+		)
+		offset += sn
+	}
+	return prog
+}
+
+func fill(cfg machine.Config) machine.Config { return cfg.Normalized() }

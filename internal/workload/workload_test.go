@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"testing"
+
+	"ivm/internal/machine"
+	"ivm/internal/memsys"
+	"ivm/internal/vector"
+)
+
+func arrays(t *testing.T) (a, b, c, d *vector.Array) {
+	t.Helper()
+	cb := vector.NewCommonBlock(0)
+	const idim = 16*1024 + 1
+	return cb.Declare("A", idim), cb.Declare("B", idim), cb.Declare("C", idim), cb.Declare("D", idim)
+}
+
+func TestStrips(t *testing.T) {
+	cases := []struct {
+		n, vl int
+		want  []int
+	}{
+		{64, 64, []int{64}},
+		{65, 64, []int{64, 1}},
+		{1024, 64, []int{64, 64, 64, 64, 64, 64, 64, 64, 64, 64, 64, 64, 64, 64, 64, 64}},
+		{10, 64, []int{10}},
+		{130, 64, []int{64, 64, 2}},
+	}
+	for _, cse := range cases {
+		got := strips(cse.n, cse.vl)
+		if len(got) != len(cse.want) {
+			t.Fatalf("strips(%d,%d) = %v", cse.n, cse.vl, got)
+		}
+		for i := range got {
+			if got[i] != cse.want[i] {
+				t.Fatalf("strips(%d,%d) = %v, want %v", cse.n, cse.vl, got, cse.want)
+			}
+		}
+	}
+}
+
+func TestTriadProgramShape(t *testing.T) {
+	a, b, c, d := arrays(t)
+	cfg := machine.DefaultConfig()
+	prog := Triad(a, b, c, d, 1024, 3, cfg)
+	if len(prog) != 16*6 {
+		t.Fatalf("len(prog) = %d, want 96", len(prog))
+	}
+	if err := cfg.Validate(prog); err != nil {
+		t.Fatal(err)
+	}
+	// First strip: loads C and D, multiply, load B, add, store A.
+	ops := []machine.Op{machine.OpLoad, machine.OpLoad, machine.OpMul, machine.OpLoad, machine.OpAdd, machine.OpStore}
+	for i, want := range ops {
+		if prog[i].Op != want {
+			t.Fatalf("instr %d = %s, want %s", i, prog[i].Op, want)
+		}
+	}
+	if prog[0].Base != c.Addr(1) || prog[1].Base != d.Addr(1) || prog[3].Base != b.Addr(1) || prog[5].Base != a.Addr(1) {
+		t.Fatal("first-strip base addresses wrong")
+	}
+	// Strides carry the increment.
+	if prog[0].Stride != 3 {
+		t.Fatalf("stride = %d", prog[0].Stride)
+	}
+	// Strip boundaries pay the scalar overhead.
+	if prog[6].IssueDelay != cfg.StripOverhead {
+		t.Fatalf("strip 2 IssueDelay = %d", prog[6].IssueDelay)
+	}
+	if prog[0].IssueDelay != 0 {
+		t.Fatalf("strip 1 IssueDelay = %d", prog[0].IssueDelay)
+	}
+	// Second strip starts at element 64 of the strided index space:
+	// subscript 1 + 64*inc.
+	if prog[6].Base != c.Addr(1+64*3) {
+		t.Fatalf("strip 2 base = %d, want %d", prog[6].Base, c.Addr(1+64*3))
+	}
+}
+
+// Every element of every stream is transferred exactly once: total
+// grants = 4 streams * n elements.
+func TestTriadConservation(t *testing.T) {
+	a, b, c, d := arrays(t)
+	cfg := machine.DefaultConfig()
+	sim := machine.NewSimulation(memsys.Config{Banks: 16, Sections: 4, BankBusy: 4, CPUs: 2}, 1, cfg)
+	n := 256
+	sim.CPUs[0].LoadProgram(Triad(a, b, c, d, n, 5, cfg))
+	_, done := sim.Run(1 << 20)
+	if !done {
+		t.Fatal("triad did not finish")
+	}
+	var grants int64
+	for _, p := range sim.CPUs[0].Ports() {
+		grants += p.Count.Grants
+	}
+	if grants != int64(4*n) {
+		t.Fatalf("grants = %d, want %d", grants, 4*n)
+	}
+}
+
+// The store port must transfer exactly n elements (one stream), the two
+// load ports together 3n.
+func TestTriadPortSplit(t *testing.T) {
+	a, b, c, d := arrays(t)
+	cfg := machine.DefaultConfig()
+	sim := machine.NewSimulation(memsys.Config{Banks: 16, Sections: 4, BankBusy: 4, CPUs: 2}, 1, cfg)
+	n := 192
+	sim.CPUs[0].LoadProgram(Triad(a, b, c, d, n, 1, cfg))
+	if _, done := sim.Run(1 << 20); !done {
+		t.Fatal("triad did not finish")
+	}
+	ports := sim.CPUs[0].Ports()
+	loadGrants := ports[0].Count.Grants + ports[1].Count.Grants
+	storeGrants := ports[2].Count.Grants
+	if loadGrants != int64(3*n) {
+		t.Fatalf("load grants = %d, want %d", loadGrants, 3*n)
+	}
+	if storeGrants != int64(n) {
+		t.Fatalf("store grants = %d, want %d", storeGrants, n)
+	}
+}
+
+func TestCopyVAddAXPYPrograms(t *testing.T) {
+	a, b, c, _ := arrays(t)
+	cfg := machine.DefaultConfig()
+	for name, prog := range map[string][]machine.Instr{
+		"copy": Copy(a, b, 300, 2, cfg),
+		"vadd": VAdd(a, b, c, 300, 2, cfg),
+		"axpy": AXPY(a, b, 300, 2, cfg),
+	} {
+		if err := cfg.Validate(prog); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sim := machine.NewSimulation(memsys.Config{Banks: 16, Sections: 4, BankBusy: 4, CPUs: 2}, 1, cfg)
+		sim.CPUs[0].LoadProgram(prog)
+		if _, done := sim.Run(1 << 20); !done {
+			t.Fatalf("%s did not finish", name)
+		}
+	}
+}
+
+func TestStripsPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("strips(0, 64) did not panic")
+		}
+	}()
+	strips(0, 64)
+}

@@ -1,0 +1,151 @@
+package xmp
+
+import (
+	"fmt"
+	"strings"
+
+	"ivm/internal/machine"
+	"ivm/internal/vector"
+	"ivm/internal/workload"
+)
+
+// Triad-vs-triad interference: both CPUs run the triad concurrently,
+// CPU 0 with increment incA and CPU 1 with increment incB, on separate
+// COMMON blocks. The matrix of CPU-0 execution times over all
+// increment pairs is the kind of table the companion study [10]
+// reports, and it exposes the pairwise regimes of Section III in a
+// realistic seven-stream setting.
+
+// InterferenceCell is one entry of the matrix.
+type InterferenceCell struct {
+	IncA, IncB int
+	ClocksA    int64 // CPU 0's (the measured triad's) execution time
+	ClocksB    int64 // CPU 1's execution time
+}
+
+// Interference runs one increment pair. Both CPUs transfer n elements
+// per stream.
+func Interference(incA, incB, n int, cfg machine.Config) InterferenceCell {
+	if incA < 1 || incB < 1 {
+		panic(fmt.Sprintf("xmp: increments %d, %d", incA, incB))
+	}
+	cfg = cfg.Normalized()
+	sim := machine.NewSimulation(MemConfig(), 2, cfg)
+
+	cbA := vector.NewCommonBlock(0)
+	aA := cbA.Declare("A0", IDim)
+	bA := cbA.Declare("B0", IDim)
+	cA := cbA.Declare("C0", IDim)
+	dA := cbA.Declare("D0", IDim)
+	// The second block continues right after the first, as a second
+	// program's COMMON would.
+	cbB := vector.NewCommonBlock(4 * IDim)
+	aB := cbB.Declare("A1", IDim)
+	bB := cbB.Declare("B1", IDim)
+	cB := cbB.Declare("C1", IDim)
+	dB := cbB.Declare("D1", IDim)
+
+	sim.CPUs[0].LoadProgram(workload.Triad(aA, bA, cA, dA, n, incA, cfg))
+	sim.CPUs[1].LoadProgram(workload.Triad(aB, bB, cB, dB, n, incB, cfg))
+	if _, done := sim.Run(int64(n) * int64(incA+incB+2) * 1000); !done {
+		panic(fmt.Sprintf("xmp: interference (%d,%d) did not finish", incA, incB))
+	}
+	return InterferenceCell{
+		IncA: incA, IncB: incB,
+		ClocksA: sim.CPUs[0].DoneClock() + 1,
+		ClocksB: sim.CPUs[1].DoneClock() + 1,
+	}
+}
+
+// InterferenceMatrix runs all increment pairs up to maxInc.
+func InterferenceMatrix(maxInc, n int, cfg machine.Config) [][]InterferenceCell {
+	out := make([][]InterferenceCell, maxInc)
+	for a := 1; a <= maxInc; a++ {
+		out[a-1] = make([]InterferenceCell, maxInc)
+		for b := 1; b <= maxInc; b++ {
+			out[a-1][b-1] = Interference(a, b, n, cfg)
+		}
+	}
+	return out
+}
+
+// RenderInterference renders the matrix of CPU-0 clock counts, rows =
+// incA, columns = incB.
+func RenderInterference(m [][]InterferenceCell) string {
+	var b strings.Builder
+	b.WriteString("incA\\incB")
+	for j := range m[0] {
+		fmt.Fprintf(&b, "%7d", j+1)
+	}
+	b.WriteByte('\n')
+	for i, row := range m {
+		fmt.Fprintf(&b, "%-9d", i+1)
+		for _, cell := range row {
+			fmt.Fprintf(&b, "%7d", cell.ClocksA)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SaturationProgram builds a finite machine program that keeps all
+// three memory ports of a CPU busy with distance-1 streams — the
+// "tailored program" of the paper's other CPU, expressed as real
+// vector instructions rather than ideal raw streams. reps strips of
+// two loads and one store are generated; registers rotate so that the
+// loads never stall on the store.
+func SaturationProgram(base int64, reps int, cfg machine.Config) []machine.Instr {
+	cfg = cfg.Normalized()
+	vl := cfg.VectorLength
+	var prog []machine.Instr
+	addr := base
+	for r := 0; r < reps; r++ {
+		// Distinct registers per rep (mod pool) avoid WAW stalls.
+		l1 := (3 * r) % 6
+		l2 := (3*r + 1) % 6
+		prog = append(prog,
+			machine.Instr{Op: machine.OpLoad, Dst: l1, Base: addr, Stride: 1, N: vl},
+			machine.Instr{Op: machine.OpLoad, Dst: l2, Base: addr + int64(vl), Stride: 1, N: vl},
+			machine.Instr{Op: machine.OpStore, Src1: l2, Base: addr + 2*int64(vl), Stride: 1, N: vl},
+		)
+		addr += 3 * int64(vl)
+	}
+	return prog
+}
+
+// TriadAgainstMachineBackground is TriadExperiment with the background
+// CPU modelled as a real vector CPU running SaturationProgram instead
+// of ideal raw streams — a fidelity check on the Fig. 10 substitution.
+func TriadAgainstMachineBackground(inc, n int, cfg machine.Config) TriadResult {
+	cfg = cfg.Normalized()
+	sim := machine.NewSimulation(MemConfig(), 2, cfg)
+
+	cb := vector.NewCommonBlock(0)
+	a := cb.Declare("A", IDim)
+	b := cb.Declare("B", IDim)
+	c := cb.Declare("C", IDim)
+	d := cb.Declare("D", IDim)
+
+	// Background on CPU 0 (priority side, as in TriadExperiment), triad
+	// measured on CPU 1. The background program is sized to outlast the
+	// triad comfortably.
+	reps := 8 * (n*inc/cfg.VectorLength + 1)
+	sim.CPUs[0].LoadProgram(SaturationProgram(4*IDim, reps, cfg))
+	sim.CPUs[1].LoadProgram(workload.Triad(a, b, c, d, n, inc, cfg))
+
+	maxClocks := int64(n) * int64(inc) * 1000
+	for sim.Mem.Clock() < maxClocks && !sim.CPUs[1].Done() {
+		sim.Step()
+	}
+	if !sim.CPUs[1].Done() {
+		panic(fmt.Sprintf("xmp: triad INC=%d did not finish against machine background", inc))
+	}
+	res := TriadResult{INC: inc, Clocks: sim.CPUs[1].DoneClock() + 1}
+	res.Micros = cfg.MicroSeconds(res.Clocks)
+	for _, p := range sim.CPUs[1].Ports() {
+		res.Bank += p.Count.Bank
+		res.Section += p.Count.Section
+		res.Simultaneous += p.Count.Simultaneous
+	}
+	return res
+}

@@ -1,0 +1,84 @@
+package xmp
+
+import (
+	"strings"
+	"testing"
+
+	"ivm/internal/machine"
+)
+
+func TestInterferenceMatrixShape(t *testing.T) {
+	m := InterferenceMatrix(4, 128, machine.DefaultConfig())
+	if len(m) != 4 || len(m[0]) != 4 {
+		t.Fatalf("matrix %dx%d", len(m), len(m[0]))
+	}
+	for i, row := range m {
+		for j, cell := range row {
+			if cell.IncA != i+1 || cell.IncB != j+1 {
+				t.Fatalf("cell (%d,%d) labelled (%d,%d)", i, j, cell.IncA, cell.IncB)
+			}
+			if cell.ClocksA <= 0 || cell.ClocksB <= 0 {
+				t.Fatalf("degenerate cell %+v", cell)
+			}
+		}
+	}
+	out := RenderInterference(m)
+	if !strings.Contains(out, "incA\\incB") {
+		t.Fatalf("render:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimRight(out, "\n"), "\n")) != 5 {
+		t.Fatalf("render rows:\n%s", out)
+	}
+}
+
+// Symmetric increments are a uniform environment: the diagonal cell
+// (1,1) must not be slower than the barrier pair (1,2) for the slower
+// side... more precisely, CPU 0 at INC=1 suffers more against INC=2's
+// barrier partner than against another INC=1 (uniform streams), the
+// paper's multitasking argument.
+func TestInterferenceUniformVsBarrier(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	uniform := Interference(1, 1, 256, cfg)
+	// INC=2 against INC=1: the d=2 CPU is the barrier loser.
+	mixed := Interference(2, 1, 256, cfg)
+	if mixed.ClocksA <= uniform.ClocksA {
+		t.Errorf("barrier-losing triad (%d) should be slower than uniform (%d)",
+			mixed.ClocksA, uniform.ClocksA)
+	}
+}
+
+func TestInterferenceDeterminism(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	a := Interference(3, 5, 128, cfg)
+	b := Interference(3, 5, 128, cfg)
+	if a != b {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSaturationProgramValid(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	prog := SaturationProgram(0, 10, cfg)
+	if len(prog) != 30 {
+		t.Fatalf("len = %d", len(prog))
+	}
+	if err := cfg.Validate(prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The machine-modelled background reproduces the Fig. 10 shape found
+// with ideal raw streams: INC=1 beats INC=2 beats... and the triad
+// still sees simultaneous conflicts.
+func TestTriadAgainstMachineBackground(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	r1 := TriadAgainstMachineBackground(1, 256, cfg)
+	r2 := TriadAgainstMachineBackground(2, 256, cfg)
+	r3 := TriadAgainstMachineBackground(3, 256, cfg)
+	if !(r1.Clocks < r2.Clocks && r2.Clocks < r3.Clocks) {
+		t.Errorf("shape broken: INC1=%d INC2=%d INC3=%d", r1.Clocks, r2.Clocks, r3.Clocks)
+	}
+	if r1.Bank+r2.Bank+r3.Bank == 0 {
+		t.Error("no bank conflicts against machine background")
+	}
+}

@@ -1,0 +1,98 @@
+package xmp
+
+import (
+	"testing"
+
+	"ivm/internal/machine"
+)
+
+// The conclusion's example, measured: a 64-wide Fortran matrix accessed
+// by rows has distance 0 on 16 banks (catastrophic), a 65-wide one has
+// distance 1 (full speed). Columns are always fine.
+func TestMatrixStudyConclusionAdvice(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	res := MatrixStudy([]int{64, 65}, 192, cfg)
+	if len(res) != 6 {
+		t.Fatalf("len = %d", len(res))
+	}
+	get := func(ld int, p AccessPattern) MatrixResult {
+		for _, r := range res {
+			if r.LeadingDim == ld && r.Pattern == p {
+				return r
+			}
+		}
+		t.Fatalf("missing (%d, %s)", ld, p)
+		return MatrixResult{}
+	}
+
+	row64 := get(64, RowAccess)
+	row65 := get(65, RowAccess)
+	if row64.Distance != 0 {
+		t.Errorf("64-wide row distance = %d, want 0", row64.Distance)
+	}
+	if row65.Distance != 1 {
+		t.Errorf("65-wide row distance = %d, want 1", row65.Distance)
+	}
+	if row64.Predicted != 0.25 {
+		t.Errorf("64-wide row predicted ceiling = %v, want 1/4", row64.Predicted)
+	}
+	// The measured times reflect it: a 64-wide row access is several
+	// times slower than a 65-wide one.
+	if row64.Clocks < 3*row65.Clocks {
+		t.Errorf("row access: ldim 64 (%d clocks) should be ~4x ldim 65 (%d)", row64.Clocks, row65.Clocks)
+	}
+
+	// Columns are unit stride regardless of the leading dimension.
+	col64 := get(64, ColumnAccess)
+	col65 := get(65, ColumnAccess)
+	if col64.Distance != 1 || col65.Distance != 1 {
+		t.Error("column distances must be 1")
+	}
+	diff := col64.Clocks - col65.Clocks
+	if diff < -32 || diff > 32 {
+		t.Errorf("column access should not depend on ldim: %d vs %d", col64.Clocks, col65.Clocks)
+	}
+
+	// Diagonals: 64-wide -> distance 65 mod 16 = 1 (fine!); 65-wide ->
+	// distance 66 mod 16 = 2 (r=8, still fine). Both run well.
+	diag64 := get(64, DiagonalAccess)
+	if diag64.Distance != 1 {
+		t.Errorf("64-wide diagonal distance = %d, want 1", diag64.Distance)
+	}
+	diag65 := get(65, DiagonalAccess)
+	if diag65.Distance != 2 {
+		t.Errorf("65-wide diagonal distance = %d, want 2", diag65.Distance)
+	}
+}
+
+// The worst diagonal case: ldim = 15 gives diagonal stride 16 ->
+// distance 0.
+func TestMatrixDiagonalWorstCase(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	r := MatrixAccess(15, DiagonalAccess, 128, cfg)
+	if r.Distance != 0 {
+		t.Fatalf("distance = %d, want 0", r.Distance)
+	}
+	good := MatrixAccess(16, DiagonalAccess, 128, cfg) // stride 17 -> d=1
+	if good.Distance != 1 {
+		t.Fatalf("distance = %d, want 1", good.Distance)
+	}
+	if r.Clocks < 3*good.Clocks {
+		t.Errorf("degenerate diagonal (%d) should be ~4x the good one (%d)", r.Clocks, good.Clocks)
+	}
+}
+
+func TestMatrixAccessValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown pattern did not panic")
+		}
+	}()
+	MatrixAccess(8, AccessPattern(99), 64, machine.DefaultConfig())
+}
+
+func TestAccessPatternString(t *testing.T) {
+	if ColumnAccess.String() != "column" || RowAccess.String() != "row" || DiagonalAccess.String() != "diagonal" {
+		t.Fatal("pattern names")
+	}
+}

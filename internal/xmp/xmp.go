@@ -1,0 +1,112 @@
+// Package xmp configures the machine model as the 2-processor, 16-bank
+// Cray X-MP of Section IV (bipolar memory, n_c = 4, 4 memory sections,
+// two load ports and one store port per CPU) and drives the paper's
+// triad experiment:
+//
+//	DO 1 I = 1, N*INC, INC
+//	1  A(I) = B(I) + C(I)*D(I)
+//
+// for INC = 1..16 with vector length n = 1024, the arrays packed into a
+// COMMON block of IDIM = 16*1024+1 words each (their first elements one
+// bank apart), while the other CPU either saturates memory through all
+// three of its ports at distance 1 (Fig. 10a) or stays silent
+// (Fig. 10b). The simulator reports the triad's execution time and the
+// three conflict classes it encountered (Fig. 10c–e).
+package xmp
+
+import (
+	"fmt"
+
+	"ivm/internal/machine"
+	"ivm/internal/memsys"
+	"ivm/internal/vector"
+	"ivm/internal/workload"
+)
+
+// MemConfig is the X-MP memory system: 16 banks in 4 cyclically
+// distributed sections, bank cycle time 4 clocks, 2 CPUs. Simultaneous
+// bank conflicts between the CPUs are resolved by a rotating (cyclic)
+// priority, the fair rule Fig. 8b credits with resolving linked
+// conflicts; with a fixed rule one CPU would either never see
+// simultaneous conflicts (contradicting Fig. 10e) or starve on
+// low-return-number strides.
+func MemConfig() memsys.Config {
+	return memsys.Config{
+		Banks:    16,
+		Sections: 4,
+		BankBusy: 4,
+		CPUs:     2,
+		Mapping:  memsys.CyclicSections,
+		Priority: memsys.CyclicPriority,
+	}
+}
+
+// IDim is the paper's array dimension: 16*1024 + 1, chosen so that the
+// respective first elements of A, B, C, D are one bank apart.
+const IDim = 16*1024 + 1
+
+// TriadResult is one point of the Fig. 10 series.
+type TriadResult struct {
+	INC          int
+	Clocks       int64   // execution time of the triad in clock periods
+	Micros       float64 // the same in microseconds (9.5 ns clock)
+	Bank         int64   // bank conflicts of the triad's four streams (Fig. 10c)
+	Section      int64   // section conflicts (Fig. 10d)
+	Simultaneous int64   // simultaneous bank conflicts (Fig. 10e)
+}
+
+// TriadExperiment runs the triad for one increment. background selects
+// whether the other CPU's three ports hammer memory at distance 1.
+func TriadExperiment(inc, n int, background bool, cfg machine.Config) TriadResult {
+	if inc < 1 {
+		panic(fmt.Sprintf("xmp: increment %d", inc))
+	}
+	cfg = cfg.Normalized()
+	sim := &machine.Simulation{Mem: memsys.New(MemConfig())}
+
+	// COMMON//A(IDIM),B(IDIM),C(IDIM),D(IDIM): base address 0.
+	cb := vector.NewCommonBlock(0)
+	a := cb.Declare("A", IDim)
+	b := cb.Declare("B", IDim)
+	c := cb.Declare("C", IDim)
+	d := cb.Declare("D", IDim)
+
+	if background {
+		// "The other CPU executes a program that is tailored so that the
+		// memory is constantly accessed by all three ports with a
+		// distance of 1." Spread the start banks like consecutive
+		// vector operands. The background CPU's ports are attached
+		// first, i.e. it wins simultaneous bank conflicts under the
+		// fixed priority rule — the measured triad is the lower-
+		// priority CPU, which is what makes Fig. 10e's simultaneous
+		// conflicts visible to it.
+		sim.AddBackgroundStream(0, "bg0", 0, 1)
+		sim.AddBackgroundStream(0, "bg1", 1, 1)
+		sim.AddBackgroundStream(0, "bg2", 2, 1)
+	}
+
+	triadCPU := machine.NewCPU(sim.Mem, 1, cfg)
+	sim.CPUs = append(sim.CPUs, triadCPU)
+	triadCPU.LoadProgram(workload.Triad(a, b, c, d, n, inc, cfg))
+	clocks, done := sim.Run(int64(n) * int64(inc) * 1000)
+	if !done {
+		panic(fmt.Sprintf("xmp: triad INC=%d did not finish", inc))
+	}
+
+	res := TriadResult{INC: inc, Clocks: clocks, Micros: cfg.MicroSeconds(clocks)}
+	for _, p := range triadCPU.Ports() {
+		res.Bank += p.Count.Bank
+		res.Section += p.Count.Section
+		res.Simultaneous += p.Count.Simultaneous
+	}
+	return res
+}
+
+// TriadSweep reproduces Fig. 10: the triad for INC = 1..maxInc.
+func TriadSweep(maxInc, n int, background bool, cfg machine.Config) []TriadResult {
+	out := make([]TriadResult, 0, maxInc)
+	for inc := 1; inc <= maxInc; inc++ {
+		out = append(out, TriadExperiment(inc, n, background, cfg))
+	}
+	return out
+}
