@@ -16,6 +16,7 @@ import (
 	"ivm/internal/rat"
 	"ivm/internal/skew"
 	"ivm/internal/stream"
+	"ivm/internal/sweep"
 	"ivm/internal/trace"
 	"ivm/internal/xmp"
 )
@@ -183,6 +184,50 @@ func TriadSweep(maxInc, n int, background bool, cfg MachineConfig) []TriadResult
 func TriadVerdict(inc int) (canonical [2]int, regime Regime, triadWins, isBarrier bool) {
 	v := explain.TriadReport(inc).Verdicts[0]
 	return v.Canonical, v.Analysis.Regime, v.WorkWins, v.HasRole
+}
+
+// --- Parallel sweep engine ----------------------------------------------
+
+// SweepOptions configures the parallel sweep engine (worker count,
+// cyclic-state cache size, statistics collection).
+type SweepOptions = sweep.Options
+
+// SweepMetrics are the engine's cumulative counters (cache hits and
+// misses, cycles found, steps simulated, pairs swept).
+type SweepMetrics = sweep.Metrics
+
+// SweepEngine shards grid sweeps over a worker pool with a memoization
+// cache of cyclic steady states; results are byte-identical to the
+// sequential sweep in any configuration.
+type SweepEngine = sweep.Engine
+
+// SweepPairResult compares analysis and simulation for one pair.
+type SweepPairResult = sweep.PairResult
+
+// SweepSummary aggregates a grid sweep by conflict regime.
+type SweepSummary = sweep.Summary
+
+// DefaultSweepCacheSize is the engine's default cache capacity.
+const DefaultSweepCacheSize = sweep.DefaultCacheSize
+
+// NewSweepEngine builds a parallel sweep engine; zero options select
+// GOMAXPROCS workers and the default cache size.
+func NewSweepEngine(opt SweepOptions) *SweepEngine { return sweep.NewEngine(opt) }
+
+// SweepGrid sweeps every non-self-conflicting distance pair of an
+// (m, nc) memory sequentially; NewSweepEngine(...).Grid is the parallel
+// equivalent.
+func SweepGrid(m, nc int) []SweepPairResult { return sweep.Grid(m, nc) }
+
+// SummariseSweep aggregates a grid sweep.
+func SummariseSweep(m, nc int, results []SweepPairResult) SweepSummary {
+	return sweep.Summarise(m, nc, results)
+}
+
+// PairBandwidthBounds returns the provable sandwich on any pair's
+// cyclic-state bandwidth: 1/nc <= b_eff <= the two-stream capacity.
+func PairBandwidthBounds(m, nc, d1, d2 int) (lo, hi Rational) {
+	return core.PairBandwidthBounds(m, nc, d1, d2)
 }
 
 // --- Figures ------------------------------------------------------------

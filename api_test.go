@@ -98,6 +98,32 @@ func TestFacadeFigures(t *testing.T) {
 	}
 }
 
+func TestFacadeSweepEngine(t *testing.T) {
+	seq := ivm.SweepGrid(12, 3)
+	eng := ivm.NewSweepEngine(ivm.SweepOptions{Workers: 4})
+	par := eng.Grid(12, 3)
+	if len(par) != len(seq) {
+		t.Fatalf("engine grid has %d pairs, sequential %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if !par[i].SimMin.Equal(seq[i].SimMin) || !par[i].SimMax.Equal(seq[i].SimMax) {
+			t.Fatalf("pair %d differs: %+v vs %+v", i, par[i], seq[i])
+		}
+	}
+	s := ivm.SummariseSweep(12, 3, par)
+	if s.Pairs != len(par) || len(s.Disagree) != 0 {
+		t.Fatalf("summary %+v", s)
+	}
+	m := eng.Metrics()
+	if m.PairsSwept != int64(len(par)) || m.CacheHits == 0 {
+		t.Fatalf("metrics %+v", m)
+	}
+	lo, hi := ivm.PairBandwidthBounds(12, 3, 1, 7)
+	if !lo.Equal(ivm.NewRational(1, 3)) || !hi.Equal(ivm.NewRational(2, 1)) {
+		t.Fatalf("bounds [%s, %s]", lo, hi)
+	}
+}
+
 func TestFacadeTriad(t *testing.T) {
 	cfg := ivm.DefaultMachine()
 	if cfg.VectorLength != 64 {

@@ -9,6 +9,7 @@ package ivm
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"ivm/internal/core"
 	"ivm/internal/figures"
@@ -155,6 +156,43 @@ func BenchmarkTheorem3Sweep(b *testing.B) {
 		disagreements = len(sweep.Summarise(12, 3, results).Disagree)
 	}
 	b.ReportMetric(float64(disagreements), "disagreements")
+}
+
+// Parallel sweep engine vs the sequential reference, over the full
+// EXPERIMENTS.md cross-validation grid. The parallel benchmark builds a
+// fresh engine each iteration (cold cache) and reports the achieved
+// cache hit rate plus the wall-clock speedup against one sequential
+// pass measured in the same process.
+var sweepBenchGrid = []struct{ m, nc int }{{8, 2}, {12, 3}, {13, 4}, {16, 4}}
+
+func BenchmarkSweepSequential(b *testing.B) {
+	var pairs int
+	for i := 0; i < b.N; i++ {
+		pairs = 0
+		for _, g := range sweepBenchGrid {
+			pairs += len(sweep.Grid(g.m, g.nc))
+		}
+	}
+	b.ReportMetric(float64(pairs), "pairs")
+}
+
+func BenchmarkSweepParallel(b *testing.B) {
+	start := time.Now()
+	for _, g := range sweepBenchGrid {
+		sweep.Grid(g.m, g.nc)
+	}
+	seq := time.Since(start)
+	var hitRate float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := sweep.NewEngine(sweep.Options{Workers: 4})
+		for _, g := range sweepBenchGrid {
+			eng.Grid(g.m, g.nc)
+		}
+		hitRate = eng.Metrics().HitRate()
+	}
+	b.ReportMetric(hitRate*100, "cache_hit_%")
+	b.ReportMetric(seq.Seconds()/(b.Elapsed().Seconds()/float64(b.N)), "speedup_vs_seq")
 }
 
 // Theorems 4-7 / Eq. 29: every unique-barrier pair of the 16-bank

@@ -12,18 +12,25 @@ import (
 
 	"ivm/internal/machine"
 	"ivm/internal/randaccess"
+	"ivm/internal/sweep"
 	"ivm/internal/textplot"
 	"ivm/internal/xmp"
 )
 
 func main() {
-	study := flag.String("study", "all", "which study: multitask|skew|kernels|random|all")
+	study := flag.String("study", "all", "which study: pairs|multitask|skew|kernels|random|all")
 	n := flag.Int("n", 512, "vector length per stream")
 	maxInc := flag.Int("maxinc", 16, "largest increment to sweep")
+	workers := flag.Int("workers", 0, "sweep worker goroutines for the pairs study; 0 selects GOMAXPROCS")
+	cache := flag.Int("cache", sweep.DefaultCacheSize, "cyclic-state cache entries for the pairs study; negative disables")
 	flag.Parse()
 
 	cfg := machine.DefaultConfig()
 	ran := false
+	if *study == "pairs" || *study == "all" {
+		pairs(*workers, *cache)
+		ran = true
+	}
 	if *study == "multitask" || *study == "all" {
 		multitask(*maxInc, *n, cfg)
 		ran = true
@@ -44,6 +51,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown study %q\n", *study)
 		os.Exit(1)
 	}
+}
+
+func pairs(workers, cache int) {
+	fmt.Println("== pair grid on the X-MP memory (m=16, nc=4): cached parallel sweep vs the analysis")
+	eng := sweep.NewEngine(sweep.Options{Workers: workers, CacheSize: cache})
+	results := eng.Grid(16, 4)
+	fmt.Print(sweep.SummaryTable(sweep.Summarise(16, 4, results)))
+	fmt.Print(eng.Metrics().Table())
+	fmt.Println()
 }
 
 func multitask(maxInc, n int, cfg machine.Config) {

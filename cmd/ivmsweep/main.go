@@ -2,7 +2,11 @@
 // (1985) against the cycle-accurate simulator: for every distance pair
 // of an (m, n_c) memory system it prints the predicted conflict regime
 // and effective bandwidth next to the simulated cyclic-state range over
-// all relative starting positions.
+// all relative starting positions. Sweeps run on the parallel engine
+// (worker pool + cyclic-state cache); the sweep tables are
+// byte-identical to the sequential path regardless of -workers/-cache.
+// (The engine-counter footer is diagnostic: concurrent workers can
+// both miss the same cache key, so its counts may vary by a few.)
 package main
 
 import (
@@ -18,17 +22,30 @@ func main() {
 	secs := flag.Int("s", 0, "number of sections; nonzero selects the section-theorem sweep (one CPU, Theorems 8/9)")
 	triples := flag.Bool("triples", false, "sweep three-stream triples against the capacity bounds instead")
 	full := flag.Bool("full", false, "print the full per-pair table (default: summary only)")
+	workers := flag.Int("workers", 0, "sweep worker goroutines; 0 selects GOMAXPROCS")
+	cache := flag.Int("cache", sweep.DefaultCacheSize, "cyclic-state cache entries; negative disables caching")
+	showStats := flag.Bool("stats", false, "collect and print per-bank statistics of the simulated states")
 	flag.Parse()
 
+	eng := sweep.NewEngine(sweep.Options{Workers: *workers, CacheSize: *cache, CollectStats: *showStats})
+	defer func() {
+		fmt.Println()
+		fmt.Print(eng.Metrics().Table())
+		if col := eng.Stats(); col != nil {
+			fmt.Println()
+			fmt.Print(col.Report())
+		}
+	}()
+
 	if *triples {
-		results := sweep.SweepTriples(*m, *nc)
+		results := eng.Triples(*m, *nc)
 		sum := sweep.SummariseTriples(results)
 		fmt.Printf("m=%d n_c=%d: %d distance triples; capacity bound attained by %d, violated by %d\n",
 			*m, *nc, sum.Triples, sum.Tight, sum.Violations)
 		return
 	}
 	if *secs != 0 {
-		results := sweep.SectionGrid(*m, *secs, *nc)
+		results := eng.SectionGrid(*m, *secs, *nc)
 		if *full {
 			fmt.Print(sweep.SectionTable(results))
 			fmt.Println()
@@ -43,7 +60,7 @@ func main() {
 		return
 	}
 
-	results := sweep.Grid(*m, *nc)
+	results := eng.Grid(*m, *nc)
 	if *full {
 		fmt.Print(sweep.Table(results))
 		fmt.Println()

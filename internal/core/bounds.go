@@ -41,6 +41,41 @@ func PortsSaturate(m, nc, p int) bool {
 	return p*nc > m
 }
 
+// PairBandwidthBounds returns provable lower and upper bounds on the
+// cyclic-state bandwidth of the standard pair configuration (two CPUs,
+// stream 1 holding fixed priority), valid for EVERY relative start —
+// the sandwich the differential sweep tests squeeze the simulator
+// into.
+//
+// Lower bound, 1/n_c: in a clock with no grant every pending request
+// is delayed, and — since a simultaneous or section conflict implies a
+// same-clock winner — every delay is a bank conflict, i.e. every
+// requested bank is busy. A bank granted at t is busy only through
+// t+n_c−1, so at most n_c−1 grantless clocks can run back to back;
+// infinite streams always have a pending request, hence at least one
+// grant every n_c clocks.
+//
+// Upper bound: the tighter of the §III-A self-conflict bound
+// min(1, r1/n_c) + min(1, r2/n_c) (which also subsumes the two-port
+// bound) and the bank-capacity bound min(m, r1+r2)/n_c — the two
+// streams touch at most r1+r2 distinct banks regardless of their
+// starts, and each bank serves one grant per n_c clocks.
+func PairBandwidthBounds(m, nc, d1, d2 int) (lo, hi rat.Rational) {
+	checkParams(m, nc)
+	lo = rat.New(1, int64(nc))
+	r1 := ReturnNumber(m, d1)
+	r2 := ReturnNumber(m, d2)
+	hi = SingleStreamBandwidth(m, nc, d1).Add(SingleStreamBandwidth(m, nc, d2))
+	banks := r1 + r2
+	if banks > m {
+		banks = m
+	}
+	if capBound := rat.New(int64(banks), int64(nc)); capBound.Cmp(hi) < 0 {
+		hi = capBound
+	}
+	return lo, hi
+}
+
 // StreamSet describes one concurrent stream for MultiStreamBound.
 type StreamSet struct {
 	Stream stream.Stream

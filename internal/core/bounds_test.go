@@ -91,6 +91,49 @@ func TestMultiStreamBoundHolds(t *testing.T) {
 	}
 }
 
+// The pair bounds sandwich the simulator from every relative start,
+// and are tight at both ends on degenerate pairs.
+func TestPairBandwidthBoundsSandwichSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(19850712))
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + rng.Intn(12)
+		nc := 1 + rng.Intn(4)
+		d1 := rng.Intn(m)
+		d2 := rng.Intn(m)
+		b2 := rng.Intn(m)
+		lo, hi := PairBandwidthBounds(m, nc, d1, d2)
+		sys := memsys.New(memsys.Config{Banks: m, BankBusy: nc, CPUs: 2})
+		sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, int64(d1)))
+		sys.AddPort(1, "2", memsys.NewInfiniteStrided(int64(b2), int64(d2)))
+		c, err := sys.FindCycle(1 << 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bw := c.EffectiveBandwidth()
+		if bw.Cmp(lo) < 0 || bw.Cmp(hi) > 0 {
+			t.Fatalf("m=%d nc=%d %d(+)%d b2=%d: b_eff %s outside [%s, %s]",
+				m, nc, d1, d2, b2, bw, lo, hi)
+		}
+	}
+	// Tight below: two d=0 streams on one bank share its 1/n_c capacity.
+	lo, _ := PairBandwidthBounds(16, 4, 0, 0)
+	sys := memsys.New(memsys.Config{Banks: 16, BankBusy: 4, CPUs: 2})
+	sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, 0))
+	sys.AddPort(1, "2", memsys.NewInfiniteStrided(0, 0))
+	c, err := sys.FindCycle(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.EffectiveBandwidth().Equal(lo) {
+		t.Fatalf("degenerate pair b_eff %s, lower bound %s should be tight", c.EffectiveBandwidth(), lo)
+	}
+	// Tight above: a conflict-free pair attains the port bound of 2.
+	_, hi := PairBandwidthBounds(12, 3, 1, 7)
+	if !hi.Equal(rat.New(2, 1)) {
+		t.Fatalf("conflict-free pair upper bound %s, want 2", hi)
+	}
+}
+
 // The path bound matters: two ports of one CPU into a single shared
 // section can never exceed 1 grant/clock.
 func TestPathBound(t *testing.T) {

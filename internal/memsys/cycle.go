@@ -60,7 +60,11 @@ type periodicSource interface{ periodic() bool }
 // cyclic steady state. All sources must be infinite strided streams.
 // The state hashed per clock is (bank busy remainders, per-port pending
 // bank, priority rotation) — everything that determines the future.
+// maxClocks and the returned Lead are relative to the clock at the
+// call, so FindCycle behaves identically on a fresh system and on one
+// reused through Reset.
 func (s *System) FindCycle(maxClocks int64) (Cycle, error) {
+	start := s.clock
 	for _, p := range s.ports {
 		ps, ok := p.Src.(periodicSource)
 		if !ok || !ps.periodic() {
@@ -102,11 +106,11 @@ func (s *System) FindCycle(maxClocks int64) (Cycle, error) {
 		return b.String(), snap
 	}
 
-	for s.clock < maxClocks {
+	for s.clock < start+maxClocks {
 		key, snap := record()
 		if prev, ok := seen[key]; ok {
 			c := Cycle{
-				Lead:      prev.clock,
+				Lead:      prev.clock - start,
 				Length:    snap.clock - prev.clock,
 				Grants:    make([]int64, len(s.ports)),
 				Conflicts: make([]Counters, len(s.ports)),

@@ -233,6 +233,15 @@ func (c Config) cpus() int {
 
 // System is a running memory system. Create with New, attach ports with
 // AddPort, then drive it with Step/Run/FindCycle.
+//
+// Concurrency: a System is NOT safe for concurrent use. Every method —
+// including the read-only accessors, which return internal slices and
+// unsynchronised fields — must be called from the goroutine that owns
+// the system. Parallel harnesses (internal/sweep's engine) give each
+// worker goroutine a private System and reuse it across simulations
+// via Reset; nothing in this package shares mutable state between
+// System values, so any number of systems may run on different
+// goroutines at once.
 type System struct {
 	cfg    Config
 	mapper BankMapper
@@ -295,6 +304,24 @@ func NewWithMapper(cfg Config, mapper BankMapper) *System {
 
 // Config returns the system's configuration.
 func (s *System) Config() Config { return s.cfg }
+
+// Reset returns the system to an empty initial state while keeping its
+// allocations, so one System can be reused for many simulations (the
+// parallel sweep engine holds one per worker): all ports are detached,
+// every bank is freed and the priority rotation returns to zero. The
+// configuration, bank mapper and listener are kept. The clock is NOT
+// rewound — the per-clock grant stamps stay valid precisely because
+// the clock only moves forward, which is what makes Reset O(m) instead
+// of O(m·s) — so clock-derived quantities of a later run (FindCycle
+// leads, listener event clocks) are relative to the clock at reuse.
+func (s *System) Reset() {
+	s.ports = s.ports[:0]
+	for b := range s.busy {
+		s.busy[b] = 0
+		s.owner[b] = nil
+	}
+	s.rr = 0
+}
 
 // Mapper returns the address-to-bank mapping in use.
 func (s *System) Mapper() BankMapper { return s.mapper }

@@ -1,0 +1,76 @@
+package memsys
+
+import "testing"
+
+// A system reused through Reset must find exactly the same cyclic
+// steady state as a fresh one — same lead, length, per-port grants and
+// bandwidth — even after simulating an unrelated configuration of
+// streams in between. This is the contract the parallel sweep's
+// per-worker system reuse relies on.
+func TestResetReuseMatchesFresh(t *testing.T) {
+	type pair struct{ m, nc, d1, b2, d2 int }
+	pairs := []pair{
+		{13, 6, 1, 0, 6}, // Fig. 3 barrier
+		{12, 3, 1, 3, 7}, // Fig. 2 conflict-free
+		{16, 4, 8, 1, 8}, // self-conflicting
+		{13, 6, 1, 0, 6}, // Fig. 3 again, now on a dirty system
+	}
+	fresh := make([]Cycle, len(pairs))
+	for i, p := range pairs {
+		sys := New(Config{Banks: p.m, BankBusy: p.nc, CPUs: 2})
+		sys.AddPort(0, "1", NewInfiniteStrided(0, int64(p.d1)))
+		sys.AddPort(1, "2", NewInfiniteStrided(int64(p.b2), int64(p.d2)))
+		c, err := sys.FindCycle(1 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh[i] = c
+	}
+
+	var reused *System
+	for i, p := range pairs {
+		cfg := Config{Banks: p.m, BankBusy: p.nc, CPUs: 2}
+		if reused == nil || reused.Config() != cfg {
+			reused = New(cfg)
+		} else {
+			reused.Reset()
+		}
+		reused.AddPort(0, "1", NewInfiniteStrided(0, int64(p.d1)))
+		reused.AddPort(1, "2", NewInfiniteStrided(int64(p.b2), int64(p.d2)))
+		c, err := reused.FindCycle(1 << 20)
+		if err != nil {
+			t.Fatalf("reused %v: %v", p, err)
+		}
+		if c.Lead != fresh[i].Lead || c.Length != fresh[i].Length {
+			t.Fatalf("reused %v: lead/length %d/%d, fresh %d/%d", p, c.Lead, c.Length, fresh[i].Lead, fresh[i].Length)
+		}
+		for pt := range c.Grants {
+			if c.Grants[pt] != fresh[i].Grants[pt] {
+				t.Fatalf("reused %v: grants %v, fresh %v", p, c.Grants, fresh[i].Grants)
+			}
+		}
+		if !c.EffectiveBandwidth().Equal(fresh[i].EffectiveBandwidth()) {
+			t.Fatalf("reused %v: b_eff %s, fresh %s", p, c.EffectiveBandwidth(), fresh[i].EffectiveBandwidth())
+		}
+	}
+}
+
+// Reset keeps the clock monotonic and detaches ports.
+func TestResetKeepsClock(t *testing.T) {
+	sys := New(Config{Banks: 8, BankBusy: 2, CPUs: 1})
+	sys.AddPort(0, "1", NewInfiniteStrided(0, 1))
+	sys.Run(17)
+	before := sys.Clock()
+	sys.Reset()
+	if sys.Clock() != before {
+		t.Fatalf("clock rewound: %d -> %d", before, sys.Clock())
+	}
+	if len(sys.Ports()) != 0 {
+		t.Fatalf("%d ports survived Reset", len(sys.Ports()))
+	}
+	for b := 0; b < 8; b++ {
+		if sys.BankBusy(b) != 0 || sys.BankOwner(b) != nil {
+			t.Fatalf("bank %d still busy after Reset", b)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package sweep
+
+import (
+	"sync"
+
+	"ivm/internal/rat"
+)
+
+// pairKey identifies one cyclic steady state of the sectionless pair
+// configuration, in canonical (orbit-minimal) form.
+type pairKey struct {
+	M, NC, D1, D2, B2 int
+}
+
+// shard spreads keys over the cache shards with an FNV-style mix.
+func (k pairKey) shard() int {
+	h := uint64(2166136261)
+	for _, v := range [5]int{k.M, k.NC, k.D1, k.D2, k.B2} {
+		h ^= uint64(uint32(v))
+		h *= 16777619
+	}
+	return int(h % cacheShardCount)
+}
+
+const cacheShardCount = 16
+
+// bwCache is a sharded, size-bounded memoization cache of cyclic-state
+// bandwidths. Sharding keeps lock contention off the workers' hot
+// path; eviction is generational — a full shard is dropped wholesale
+// rather than tracking recency, which is cheap and, because cached
+// values are pure functions of the key, only ever costs a recompute.
+type bwCache struct {
+	perShard int
+	shards   [cacheShardCount]bwShard
+}
+
+type bwShard struct {
+	mu sync.Mutex
+	m  map[pairKey]rat.Rational
+}
+
+// newBWCache builds a cache bounded at roughly size entries in total.
+func newBWCache(size int) *bwCache {
+	per := size / cacheShardCount
+	if per < 1 {
+		per = 1
+	}
+	return &bwCache{perShard: per}
+}
+
+func (c *bwCache) get(k pairKey) (rat.Rational, bool) {
+	s := &c.shards[k.shard()]
+	s.mu.Lock()
+	v, ok := s.m[k]
+	s.mu.Unlock()
+	return v, ok
+}
+
+func (c *bwCache) put(k pairKey, v rat.Rational) {
+	s := &c.shards[k.shard()]
+	s.mu.Lock()
+	if s.m == nil || len(s.m) >= c.perShard {
+		s.m = make(map[pairKey]rat.Rational, c.perShard)
+	}
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// Len counts the entries currently cached across all shards.
+func (c *bwCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,100 @@
+package sweep
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"ivm/internal/core"
+)
+
+// Differential harness: the parallel engine, the sequential sweep, and
+// the analytic bounds are three independent routes to the same numbers.
+// Random pairs must agree result-for-result, and every simulated
+// bandwidth must sit inside the provable [1/n_c, capacity] sandwich.
+
+func TestDifferentialRandomPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(19850712))
+	eng := NewEngine(Options{Workers: 4})
+	for trial := 0; trial < 50; trial++ {
+		m := 2 + rng.Intn(15)  // 2..16
+		nc := 1 + rng.Intn(4)  // 1..4
+		d1 := rng.Intn(m)
+		d2 := rng.Intn(m)
+		seq := SweepPair(m, nc, d1, d2)
+		par := eng.SweepPair(m, nc, d1, d2)
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("trial %d m=%d nc=%d (%d,%d): engine %+v != sequential %+v",
+				trial, m, nc, d1, d2, par, seq)
+		}
+		lo, hi := core.PairBandwidthBounds(m, nc, d1, d2)
+		if seq.SimMin.Cmp(lo) < 0 {
+			t.Fatalf("trial %d m=%d nc=%d (%d,%d): sim min %s below analytic lower bound %s",
+				trial, m, nc, d1, d2, seq.SimMin, lo)
+		}
+		if seq.SimMax.Cmp(hi) > 0 {
+			t.Fatalf("trial %d m=%d nc=%d (%d,%d): sim max %s above analytic upper bound %s",
+				trial, m, nc, d1, d2, seq.SimMax, hi)
+		}
+		if !seq.Agree {
+			t.Fatalf("trial %d m=%d nc=%d (%d,%d): analysis and simulation disagree: %+v",
+				trial, m, nc, d1, d2, seq)
+		}
+	}
+	if eng.Metrics().CacheHits == 0 {
+		t.Fatal("50 random pairs never hit the cache; canonicalisation is not collapsing orbits")
+	}
+}
+
+// Every grid pair's simulated range must respect the analytic bounds —
+// the bound check over the full EXPERIMENTS.md grid, not just random
+// samples.
+func TestDifferentialGridWithinBounds(t *testing.T) {
+	eng := NewEngine(Options{Workers: 4})
+	for _, g := range experimentsGrid {
+		for _, r := range eng.Grid(g.m, g.nc) {
+			lo, hi := core.PairBandwidthBounds(r.M, r.NC, r.D1, r.D2)
+			if r.SimMin.Cmp(lo) < 0 || r.SimMax.Cmp(hi) > 0 {
+				t.Fatalf("m=%d nc=%d (%d,%d): sim [%s,%s] outside bounds [%s,%s]",
+					r.M, r.NC, r.D1, r.D2, r.SimMin, r.SimMax, lo, hi)
+			}
+		}
+	}
+}
+
+// The memo cache must be semantics-preserving: for every key ever
+// answered from the cache, a cold recomputation of that canonical
+// representative yields the identical rational, and pair-level results
+// computed through the cache match the cache-free sweep field-for-field.
+func TestCacheSemanticsPreserving(t *testing.T) {
+	eng := NewEngine(Options{Workers: 4})
+	var mu sync.Mutex
+	hitKeys := make(map[pairKey]bool)
+	eng.onHit = func(k pairKey) {
+		mu.Lock()
+		hitKeys[k] = true
+		mu.Unlock()
+	}
+	cached := eng.Grid(12, 3)
+	eng.Grid(12, 3) // second pass: every start is a hit
+	if len(hitKeys) == 0 {
+		t.Fatal("no cache hits observed")
+	}
+	for k := range hitKeys {
+		got, ok := eng.cache.get(k)
+		if !ok {
+			t.Fatalf("hit key %+v evicted from an oversized cache", k)
+		}
+		cold := simulateOnce(k.M, k.NC, k.D1, k.B2, k.D2)
+		if !got.Equal(cold) {
+			t.Fatalf("key %+v: cached %s != cold recomputation %s", k, got, cold)
+		}
+	}
+	for i, r := range Grid(12, 3) {
+		c := cached[i]
+		if !c.SimMin.Equal(r.SimMin) || !c.SimMax.Equal(r.SimMax) || c.Agree != r.Agree {
+			t.Fatalf("pair (%d,%d): cached sweep %+v != cache-free sweep %+v", r.D1, r.D2, c, r)
+		}
+	}
+}

@@ -1,0 +1,371 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ivm/internal/memsys"
+	"ivm/internal/modmath"
+	"ivm/internal/rat"
+	"ivm/internal/stats"
+	"ivm/internal/textplot"
+)
+
+// findCycleBudget is the per-simulation clock budget for steady-state
+// detection, shared by the sequential and parallel paths.
+const findCycleBudget = 1 << 22
+
+// DefaultCacheSize is the engine's cyclic-state cache capacity (total
+// entries across shards) when Options.CacheSize is zero.
+const DefaultCacheSize = 1 << 16
+
+// Options configures the parallel sweep engine.
+type Options struct {
+	// Workers is the number of worker goroutines sharding the grid;
+	// <= 0 selects GOMAXPROCS.
+	Workers int
+	// CacheSize bounds the cyclic-state memo cache in entries: 0 means
+	// DefaultCacheSize, negative disables caching. The cache applies to
+	// the sectionless pair sweep (Grid/SweepPair) only — the bank
+	// renumbering the key canonicalisation relies on does not commute
+	// with a section partition.
+	CacheSize int
+	// CollectStats attaches a stats.Collector to every worker's
+	// simulator and merges them after each sweep (see Stats). Off by
+	// default: per-event collection slows the hot loop.
+	CollectStats bool
+}
+
+// Metrics are the engine's cumulative counters. All values aggregate
+// over every sweep the engine has run.
+type Metrics struct {
+	CacheHits      int64 // starts answered from the memo cache
+	CacheMisses    int64 // starts that had to be simulated
+	CacheEntries   int   // entries currently cached
+	CyclesFound    int64 // cyclic steady states detected
+	StepsSimulated int64 // clock periods stepped across all simulations
+	PairsSwept     int64 // pair (and triple) sweep units completed
+}
+
+// HitRate returns the cache hit fraction, 0 when the cache was unused.
+func (m Metrics) HitRate() float64 {
+	n := m.CacheHits + m.CacheMisses
+	if n == 0 {
+		return 0
+	}
+	return float64(m.CacheHits) / float64(n)
+}
+
+// Table renders the counters as an aligned text table.
+func (m Metrics) Table() string {
+	t := &textplot.Table{Header: []string{"engine counter", "value"}}
+	t.Add("pairs swept", m.PairsSwept)
+	t.Add("cycles found", m.CyclesFound)
+	t.Add("steps simulated", m.StepsSimulated)
+	t.Add("cache hits", m.CacheHits)
+	t.Add("cache misses", m.CacheMisses)
+	t.Add("cache entries", m.CacheEntries)
+	t.Add("cache hit rate", fmt.Sprintf("%.1f%%", m.HitRate()*100))
+	return t.String()
+}
+
+// Engine is the parallel sweep harness: a bounded worker pool over the
+// (m, n_c, d1, d2, start) grid with a sharded memoization cache of
+// cyclic steady states. Results are always returned in the sequential
+// sweep order, so output is byte-identical to Grid/SectionGrid/
+// SweepTriples regardless of worker count or cache state.
+//
+// The cache key is the canonical representative of the start triple
+// (d1, d2, b2) under the Appendix isomorphism: renumbering the banks
+// j -> u·j mod m by any unit u maps the pair (0, d1), (b2, d2) onto
+// (0, u·d1), (u·b2, u·d2) while commuting with every conflict rule of
+// the simulator, so all triples of one orbit share a single simulated
+// steady state. An Engine is safe for concurrent use by multiple
+// goroutines, though each sweep call already saturates its own pool.
+type Engine struct {
+	opt   Options
+	cache *bwCache
+
+	hits, misses, cycles, steps, pairs atomic.Int64
+
+	mu    sync.Mutex
+	stats *stats.Collector
+
+	// onHit is a test hook observing cache hits (set before sweeping).
+	onHit func(pairKey)
+}
+
+// NewEngine builds an engine; the zero Options select GOMAXPROCS
+// workers and the default cache size.
+func NewEngine(opt Options) *Engine {
+	e := &Engine{opt: opt}
+	if opt.CacheSize >= 0 {
+		size := opt.CacheSize
+		if size == 0 {
+			size = DefaultCacheSize
+		}
+		e.cache = newBWCache(size)
+	}
+	return e
+}
+
+// Options returns the engine's configuration.
+func (e *Engine) Options() Options { return e.opt }
+
+// Metrics snapshots the engine's cumulative counters.
+func (e *Engine) Metrics() Metrics {
+	m := Metrics{
+		CacheHits:      e.hits.Load(),
+		CacheMisses:    e.misses.Load(),
+		CyclesFound:    e.cycles.Load(),
+		StepsSimulated: e.steps.Load(),
+		PairsSwept:     e.pairs.Load(),
+	}
+	if e.cache != nil {
+		m.CacheEntries = e.cache.Len()
+	}
+	return m
+}
+
+// Stats returns the merged per-bank statistics of the most recent
+// sweep call, or nil unless Options.CollectStats is set. Cache hits
+// skip simulation, so the collector covers only the states that were
+// actually simulated (the canonical orbit representatives).
+func (e *Engine) Stats() *stats.Collector {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+func (e *Engine) workers() int {
+	if e.opt.Workers > 0 {
+		return e.opt.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// run shards n independent work items over the pool. Each worker owns
+// a private simulator (reused across items via memsys.Reset), so f
+// must write results only into its own item's slot — that indexing is
+// what keeps the output deterministic.
+func (e *Engine) run(n int, f func(w *worker, i int)) {
+	if e.opt.CollectStats {
+		e.mu.Lock()
+		e.stats = nil
+		e.mu.Unlock()
+	}
+	if n == 0 {
+		return
+	}
+	workers := e.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		w := &worker{e: e}
+		for i := 0; i < n; i++ {
+			f(w, i)
+		}
+		w.finish()
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := &worker{e: e}
+			defer w.finish()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(w, i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Grid is the parallel, cached equivalent of Grid: same pairs, same
+// order, same values.
+func (e *Engine) Grid(m, nc int) []PairResult {
+	pairs := gridPairs(m, nc)
+	out := make([]PairResult, len(pairs))
+	e.run(len(pairs), func(w *worker, i int) {
+		out[i] = w.sweepPair(m, nc, pairs[i][0], pairs[i][1])
+	})
+	return out
+}
+
+// SweepPair sweeps one pair through the engine (cache and reusable
+// simulator included), returning exactly what SweepPair returns.
+func (e *Engine) SweepPair(m, nc, d1, d2 int) PairResult {
+	var out PairResult
+	e.run(1, func(w *worker, _ int) {
+		out = w.sweepPair(m, nc, d1, d2)
+	})
+	return out
+}
+
+// SectionGrid is the parallel equivalent of SectionGrid. Placements
+// are simulated uncached (sections break the renumbering symmetry)
+// but workers still shard pairs and reuse their simulators.
+func (e *Engine) SectionGrid(m, s, nc int) []SectionPairResult {
+	pairs := gridPairs(m, nc)
+	out := make([]SectionPairResult, len(pairs))
+	e.run(len(pairs), func(w *worker, i int) {
+		e.pairs.Add(1)
+		out[i] = sweepSectionPairWith(m, s, nc, pairs[i][0], pairs[i][1], w.sectionBandwidth)
+	})
+	return out
+}
+
+// Triples is the parallel equivalent of SweepTriples.
+func (e *Engine) Triples(m, nc int) []TripleResult {
+	triples := tripleList(m)
+	out := make([]TripleResult, len(triples))
+	e.run(len(triples), func(w *worker, i int) {
+		e.pairs.Add(1)
+		d := triples[i]
+		out[i] = tripleFrom(m, nc, d, w.tripleBandwidth(m, nc, d))
+	})
+	return out
+}
+
+// --- Workers ------------------------------------------------------------
+
+// worker is the per-goroutine state of one pool member: a reusable
+// simulator, its collector, and the memoised unit group of the current
+// modulus.
+type worker struct {
+	e   *Engine
+	sys *memsys.System
+	cfg memsys.Config
+	col *stats.Collector
+
+	units  []int
+	unitsM int
+}
+
+// system returns the worker's simulator for cfg, reset and ready for
+// ports — reusing allocations whenever the configuration repeats.
+func (w *worker) system(cfg memsys.Config) *memsys.System {
+	if w.sys != nil && w.cfg == cfg {
+		w.sys.Reset()
+		return w.sys
+	}
+	w.flushStats()
+	w.sys = memsys.New(cfg)
+	w.cfg = cfg
+	if w.e.opt.CollectStats {
+		w.col = stats.Attach(w.sys)
+	}
+	return w.sys
+}
+
+// finish folds the worker's collector into the engine.
+func (w *worker) finish() { w.flushStats() }
+
+func (w *worker) flushStats() {
+	if w.col == nil {
+		return
+	}
+	e := w.e
+	e.mu.Lock()
+	if e.stats == nil {
+		e.stats = w.col
+	} else {
+		e.stats.Merge(w.col)
+	}
+	e.mu.Unlock()
+	w.col = nil
+}
+
+// findCycle runs steady-state detection on the worker's simulator and
+// accounts for it in the engine counters.
+func (w *worker) findCycle(sys *memsys.System, what string) memsys.Cycle {
+	c, err := sys.FindCycle(findCycleBudget)
+	if err != nil {
+		panic(fmt.Sprintf("sweep: %s: %v", what, err))
+	}
+	w.e.cycles.Add(1)
+	w.e.steps.Add(c.Lead + c.Length)
+	return c
+}
+
+func (w *worker) sweepPair(m, nc, d1, d2 int) PairResult {
+	w.e.pairs.Add(1)
+	return sweepPairWith(m, nc, d1, d2, w.bandwidth)
+}
+
+// bandwidth resolves one relative start of a pair, through the cache
+// when enabled. On a miss the CANONICAL representative is simulated,
+// so the cached value is exactly what any triple of the orbit would
+// produce.
+func (w *worker) bandwidth(m, nc, d1, b2, d2 int) rat.Rational {
+	e := w.e
+	if e.cache == nil {
+		return w.simulatePair(m, nc, d1, b2, d2)
+	}
+	key := w.canonicalKey(m, nc, d1, d2, b2)
+	if bw, ok := e.cache.get(key); ok {
+		e.hits.Add(1)
+		if e.onHit != nil {
+			e.onHit(key)
+		}
+		return bw
+	}
+	bw := w.simulatePair(key.M, key.NC, key.D1, key.B2, key.D2)
+	e.misses.Add(1)
+	e.cache.put(key, bw)
+	return bw
+}
+
+func (w *worker) simulatePair(m, nc, d1, b2, d2 int) rat.Rational {
+	sys := w.system(memsys.Config{Banks: m, BankBusy: nc, CPUs: 2})
+	sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, int64(d1)))
+	sys.AddPort(1, "2", memsys.NewInfiniteStrided(int64(b2), int64(d2)))
+	c := w.findCycle(sys, fmt.Sprintf("pair m=%d nc=%d d1=%d d2=%d b2=%d", m, nc, d1, d2, b2))
+	return c.EffectiveBandwidth()
+}
+
+func (w *worker) sectionBandwidth(m, s, nc, d1, b2, d2 int) rat.Rational {
+	sys := w.system(memsys.Config{Banks: m, Sections: s, BankBusy: nc, CPUs: 1})
+	sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, int64(d1)))
+	sys.AddPort(0, "2", memsys.NewInfiniteStrided(int64(b2), int64(d2)))
+	c := w.findCycle(sys, fmt.Sprintf("section pair m=%d s=%d nc=%d (%d,%d,%d)", m, s, nc, d1, b2, d2))
+	return c.EffectiveBandwidth()
+}
+
+func (w *worker) tripleBandwidth(m, nc int, d [3]int) rat.Rational {
+	sys := w.system(memsys.Config{Banks: m, BankBusy: nc, CPUs: 3})
+	sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, int64(d[0])))
+	sys.AddPort(1, "2", memsys.NewInfiniteStrided(1, int64(d[1])))
+	sys.AddPort(2, "3", memsys.NewInfiniteStrided(2, int64(d[2])))
+	c := w.findCycle(sys, fmt.Sprintf("triple (%d,%d,%d)", d[0], d[1], d[2]))
+	return c.EffectiveBandwidth()
+}
+
+// canonicalKey maps a start triple to the lexicographically smallest
+// member of its isomorphism orbit {(u·d1, u·d2, u·b2) mod m : u unit}.
+func (w *worker) canonicalKey(m, nc, d1, d2, b2 int) pairKey {
+	if w.unitsM != m {
+		w.units = modmath.Units(m)
+		w.unitsM = m
+	}
+	d1, d2, b2 = modmath.Mod(d1, m), modmath.Mod(d2, m), modmath.Mod(b2, m)
+	best := [3]int{d1, d2, b2}
+	for _, u := range w.units {
+		c := [3]int{modmath.Mod(u*d1, m), modmath.Mod(u*d2, m), modmath.Mod(u*b2, m)}
+		if c[0] < best[0] ||
+			(c[0] == best[0] && (c[1] < best[1] || (c[1] == best[1] && c[2] < best[2]))) {
+			best = c
+		}
+	}
+	return pairKey{M: m, NC: nc, D1: best[0], D2: best[1], B2: best[2]}
+}

@@ -31,21 +31,34 @@ type SectionPairResult struct {
 	Agree bool
 }
 
+// sectionBWFunc computes the cyclic-state bandwidth of one placement
+// of a section pair (one CPU, two ports, s | m sections).
+type sectionBWFunc func(m, s, nc, d1, b2, d2 int) rat.Rational
+
+// sectionSimulateOnce is the cold path: a fresh system per placement.
+func sectionSimulateOnce(m, s, nc, d1, b2, d2 int) rat.Rational {
+	sys := memsys.New(memsys.Config{Banks: m, Sections: s, BankBusy: nc, CPUs: 1})
+	sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, int64(d1)))
+	sys.AddPort(0, "2", memsys.NewInfiniteStrided(int64(b2), int64(d2)))
+	c, err := sys.FindCycle(findCycleBudget)
+	if err != nil {
+		panic(fmt.Sprintf("sweep: section pair m=%d s=%d nc=%d (%d,%d,%d): %v", m, s, nc, d1, b2, d2, err))
+	}
+	return c.EffectiveBandwidth()
+}
+
 // SweepSectionPair sweeps all relative starts of one pair.
 func SweepSectionPair(m, s, nc, d1, d2 int) SectionPairResult {
+	return sweepSectionPairWith(m, s, nc, d1, d2, sectionSimulateOnce)
+}
+
+func sweepSectionPairWith(m, s, nc, d1, d2 int, bw sectionBWFunc) SectionPairResult {
 	res := SectionPairResult{M: m, S: s, NC: nc, D1: d1, D2: d2, Agree: true}
 	res.TheoryFree, res.TheoryStart = core.SectionConflictFree(m, s, nc, d1, d2)
 	two := rat.New(2, 1)
 	s1 := stream.Infinite(m, 0, d1)
 	for b2 := 0; b2 < m; b2++ {
-		sys := memsys.New(memsys.Config{Banks: m, Sections: s, BankBusy: nc, CPUs: 1})
-		sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, int64(d1)))
-		sys.AddPort(0, "2", memsys.NewInfiniteStrided(int64(b2), int64(d2)))
-		c, err := sys.FindCycle(1 << 22)
-		if err != nil {
-			panic(fmt.Sprintf("sweep: section pair m=%d s=%d nc=%d (%d,%d,%d): %v", m, s, nc, d1, b2, d2, err))
-		}
-		free := c.EffectiveBandwidth().Equal(two)
+		free := bw(m, s, nc, d1, b2, d2).Equal(two)
 		res.SimStarts++
 		if free {
 			res.SimFreeStarts++
@@ -61,32 +74,20 @@ func SweepSectionPair(m, s, nc, d1, d2 int) SectionPairResult {
 		}
 	}
 	// The constructed start must simulate conflict free.
-	if res.TheoryFree {
-		sys := memsys.New(memsys.Config{Banks: m, Sections: s, BankBusy: nc, CPUs: 1})
-		sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, int64(d1)))
-		sys.AddPort(0, "2", memsys.NewInfiniteStrided(int64(res.TheoryStart), int64(d2)))
-		c, err := sys.FindCycle(1 << 22)
-		if err != nil || !c.EffectiveBandwidth().Equal(two) {
-			res.Agree = false
-		}
+	if res.TheoryFree && !bw(m, s, nc, d1, res.TheoryStart, d2).Equal(two) {
+		res.Agree = false
 	}
 	return res
 }
 
 // SectionGrid sweeps every non-self-conflicting pair of an (m, s, n_c)
-// system.
+// system. Sequential reference path; Engine.SectionGrid is the
+// parallel equivalent.
 func SectionGrid(m, s, nc int) []SectionPairResult {
-	var out []SectionPairResult
-	for d1 := 0; d1 < m; d1++ {
-		if stream.ReturnNumber(m, d1) < nc {
-			continue
-		}
-		for d2 := d1; d2 < m; d2++ {
-			if stream.ReturnNumber(m, d2) < nc {
-				continue
-			}
-			out = append(out, SweepSectionPair(m, s, nc, d1, d2))
-		}
+	pairs := gridPairs(m, nc)
+	out := make([]SectionPairResult, len(pairs))
+	for i, p := range pairs {
+		out[i] = SweepSectionPair(m, s, nc, p[0], p[1])
 	}
 	return out
 }
@@ -116,37 +117,57 @@ type TripleResult struct {
 	BoundTight bool
 }
 
+// tripleList enumerates the unordered distance triples in sweep order.
+func tripleList(m int) [][3]int {
+	var out [][3]int
+	for d1 := 0; d1 < m; d1++ {
+		for d2 := d1; d2 < m; d2++ {
+			for d3 := d2; d3 < m; d3++ {
+				out = append(out, [3]int{d1, d2, d3})
+			}
+		}
+	}
+	return out
+}
+
+// tripleSimulateOnce is the cold path: a fresh 3-CPU system per triple.
+func tripleSimulateOnce(m, nc int, d [3]int) rat.Rational {
+	sys := memsys.New(memsys.Config{Banks: m, BankBusy: nc, CPUs: 3})
+	sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, int64(d[0])))
+	sys.AddPort(1, "2", memsys.NewInfiniteStrided(1, int64(d[1])))
+	sys.AddPort(2, "3", memsys.NewInfiniteStrided(2, int64(d[2])))
+	c, err := sys.FindCycle(findCycleBudget)
+	if err != nil {
+		panic(fmt.Sprintf("sweep: triple (%d,%d,%d): %v", d[0], d[1], d[2], err))
+	}
+	return c.EffectiveBandwidth()
+}
+
+// tripleFrom packages one measured triple against its capacity bound.
+func tripleFrom(m, nc int, d [3]int, bw rat.Rational) TripleResult {
+	bound := core.MultiStreamBound(m, 0, nc, []core.StreamSet{
+		{Stream: stream.Infinite(m, 0, d[0]), CPU: 0},
+		{Stream: stream.Infinite(m, 1, d[1]), CPU: 1},
+		{Stream: stream.Infinite(m, 2, d[2]), CPU: 2},
+	})
+	return TripleResult{
+		M: m, NC: nc, D: d,
+		Bandwidth: bw, Bound: bound,
+		BoundTight: bw.Equal(bound),
+	}
+}
+
 // SweepTriples measures every unordered distance triple of an (m, n_c)
 // memory (three CPUs, starts 0/1/2) against the aggregate capacity
 // bound, reporting how often the bound is attained. The paper analyses
 // one and two streams; this quantifies how far its pairwise reasoning
-// carries for three.
+// carries for three. Sequential reference path; Engine.Triples is the
+// parallel equivalent.
 func SweepTriples(m, nc int) []TripleResult {
-	var out []TripleResult
-	for d1 := 0; d1 < m; d1++ {
-		for d2 := d1; d2 < m; d2++ {
-			for d3 := d2; d3 < m; d3++ {
-				sys := memsys.New(memsys.Config{Banks: m, BankBusy: nc, CPUs: 3})
-				sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, int64(d1)))
-				sys.AddPort(1, "2", memsys.NewInfiniteStrided(1, int64(d2)))
-				sys.AddPort(2, "3", memsys.NewInfiniteStrided(2, int64(d3)))
-				c, err := sys.FindCycle(1 << 22)
-				if err != nil {
-					panic(fmt.Sprintf("sweep: triple (%d,%d,%d): %v", d1, d2, d3, err))
-				}
-				bound := core.MultiStreamBound(m, 0, nc, []core.StreamSet{
-					{Stream: stream.Infinite(m, 0, d1), CPU: 0},
-					{Stream: stream.Infinite(m, 1, d2), CPU: 1},
-					{Stream: stream.Infinite(m, 2, d3), CPU: 2},
-				})
-				bw := c.EffectiveBandwidth()
-				out = append(out, TripleResult{
-					M: m, NC: nc, D: [3]int{d1, d2, d3},
-					Bandwidth: bw, Bound: bound,
-					BoundTight: bw.Equal(bound),
-				})
-			}
-		}
+	triples := tripleList(m)
+	out := make([]TripleResult, len(triples))
+	for i, d := range triples {
+		out[i] = tripleFrom(m, nc, d, tripleSimulateOnce(m, nc, d))
 	}
 	return out
 }

@@ -31,26 +31,35 @@ type PairResult struct {
 	Agree bool
 }
 
+// bwFunc computes the cyclic-state bandwidth of one relative start of
+// a pair; the sequential path simulates cold, the engine's workers go
+// through the memo cache and a reused per-worker system.
+type bwFunc func(m, nc, d1, b2, d2 int) rat.Rational
+
 // SweepPair simulates all m relative starts of the pair and checks the
 // analytic verdict.
 func SweepPair(m, nc, d1, d2 int) PairResult {
+	return sweepPairWith(m, nc, d1, d2, simulateOnce)
+}
+
+func sweepPairWith(m, nc, d1, d2 int, bw bwFunc) PairResult {
 	a := core.Analyze(m, nc, d1, d2)
 	res := PairResult{M: m, NC: nc, D1: d1, D2: d2, Analysis: a}
 	first := true
 	attained := false
 	allMatch := true
 	for b2 := 0; b2 < m; b2++ {
-		bw := simulateOnce(m, nc, d1, b2, d2)
-		if first || bw.Cmp(res.SimMin) < 0 {
-			res.SimMin = bw
+		v := bw(m, nc, d1, b2, d2)
+		if first || v.Cmp(res.SimMin) < 0 {
+			res.SimMin = v
 		}
-		if first || bw.Cmp(res.SimMax) > 0 {
-			res.SimMax = bw
+		if first || v.Cmp(res.SimMax) > 0 {
+			res.SimMax = v
 		}
 		first = false
 		res.Starts++
 		if a.HasBandwidth {
-			if bw.Equal(a.Bandwidth) {
+			if v.Equal(a.Bandwidth) {
 				attained = true
 			} else {
 				allMatch = false
@@ -76,17 +85,17 @@ func simulateOnce(m, nc, b1d1 int, b2, d2 int) rat.Rational {
 	sys := memsys.New(memsys.Config{Banks: m, BankBusy: nc, CPUs: 2})
 	sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, int64(b1d1)))
 	sys.AddPort(1, "2", memsys.NewInfiniteStrided(int64(b2), int64(d2)))
-	c, err := sys.FindCycle(1 << 22)
+	c, err := sys.FindCycle(findCycleBudget)
 	if err != nil {
 		panic(fmt.Sprintf("sweep: m=%d nc=%d d1=%d d2=%d b2=%d: %v", m, nc, b1d1, d2, b2, err))
 	}
 	return c.EffectiveBandwidth()
 }
 
-// Grid sweeps every distance pair of an (m, nc) system, skipping
-// self-conflicting pairs, and returns the per-pair comparisons.
-func Grid(m, nc int) []PairResult {
-	var out []PairResult
+// gridPairs lists the distance pairs Grid sweeps, in sweep order: both
+// streams must have return number >= nc (no self-conflict), d2 >= d1.
+func gridPairs(m, nc int) [][2]int {
+	var out [][2]int
 	for d1 := 0; d1 < m; d1++ {
 		if stream.ReturnNumber(m, d1) < nc {
 			continue
@@ -95,8 +104,21 @@ func Grid(m, nc int) []PairResult {
 			if stream.ReturnNumber(m, d2) < nc {
 				continue
 			}
-			out = append(out, SweepPair(m, nc, d1, d2))
+			out = append(out, [2]int{d1, d2})
 		}
+	}
+	return out
+}
+
+// Grid sweeps every distance pair of an (m, nc) system, skipping
+// self-conflicting pairs, and returns the per-pair comparisons. This
+// is the sequential reference path; Engine.Grid produces byte-identical
+// results in parallel.
+func Grid(m, nc int) []PairResult {
+	pairs := gridPairs(m, nc)
+	out := make([]PairResult, len(pairs))
+	for i, p := range pairs {
+		out[i] = SweepPair(m, nc, p[0], p[1])
 	}
 	return out
 }

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full verification gauntlet: vet plus race-enabled tests. Pass package
+# patterns to narrow the run (default: everything).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "$#" -eq 0 ]; then
+	set -- ./...
+fi
+
+go vet "$@"
+go test -race "$@"
