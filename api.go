@@ -8,13 +8,17 @@ package ivm
 // to external code.
 
 import (
+	"io"
+
 	"ivm/internal/core"
 	"ivm/internal/explain"
 	"ivm/internal/figures"
 	"ivm/internal/machine"
 	"ivm/internal/memsys"
+	"ivm/internal/obs"
 	"ivm/internal/rat"
 	"ivm/internal/skew"
+	"ivm/internal/stats"
 	"ivm/internal/stream"
 	"ivm/internal/sweep"
 	"ivm/internal/trace"
@@ -229,6 +233,77 @@ func SummariseSweep(m, nc int, results []SweepPairResult) SweepSummary {
 func PairBandwidthBounds(m, nc, d1, d2 int) (lo, hi Rational) {
 	return core.PairBandwidthBounds(m, nc, d1, d2)
 }
+
+// --- Observability ------------------------------------------------------
+
+// TraceEvent is one recorded per-clock simulator outcome (grant or
+// classified delay) without live object references.
+type TraceEvent = obs.Event
+
+// Tracer is the ring-buffered event tracer; it implements the
+// simulator's listener seam and keeps exact atomic totals.
+type Tracer = obs.Tracer
+
+// TracerOptions size the tracer's event ring and sampling.
+type TracerOptions = obs.TracerOptions
+
+// TraceStats are a tracer's exact totals and ring state.
+type TraceStats = obs.TraceStats
+
+// MetricsSnapshot bundles engine, statistics and trace metrics into
+// one JSON document (the CLIs' -metrics-out).
+type MetricsSnapshot = obs.Snapshot
+
+// MetricsRegistry serves live, named metrics sources over HTTP along
+// with expvar and pprof.
+type MetricsRegistry = obs.Registry
+
+// EngineSnapshot is the sweep engine's observability view: counters,
+// cache hit rate, per-worker utilisation, detection latency.
+type EngineSnapshot = sweep.Snapshot
+
+// StatsSnapshot is a statistics collector's serialisable aggregate.
+type StatsSnapshot = stats.Snapshot
+
+// NewTracer builds a detached tracer; install it with
+// System.SetListener, or use AttachTracer.
+func NewTracer(opt TracerOptions) *Tracer { return obs.NewTracer(opt) }
+
+// AttachTracer builds a tracer and installs it as the system's
+// listener.
+func AttachTracer(sys *System, opt TracerOptions) *Tracer { return obs.Attach(sys, opt) }
+
+// WriteChromeTrace renders traced events as a Chrome trace_event JSON
+// document (chrome://tracing, Perfetto): one track per bank, one per
+// port.
+func WriteChromeTrace(w io.Writer, events []TraceEvent, banks, bankBusy int) error {
+	return obs.WriteChromeTrace(w, events, banks, bankBusy)
+}
+
+// WriteTraceCSV renders traced events as a CSV timeline.
+func WriteTraceCSV(w io.Writer, events []TraceEvent) error {
+	return obs.WriteCSV(w, events)
+}
+
+// BankStripChart renders traced events as a plain-text bank-occupancy
+// strip chart.
+func BankStripChart(events []TraceEvent, banks, bankBusy int) string {
+	return obs.StripChart(events, banks, bankBusy)
+}
+
+// WriteMetricsSnapshot serialises a metrics snapshot as indented JSON.
+func WriteMetricsSnapshot(w io.Writer, s MetricsSnapshot) error {
+	return obs.WriteSnapshot(w, s)
+}
+
+// ReadMetricsSnapshot parses a snapshot written by
+// WriteMetricsSnapshot.
+func ReadMetricsSnapshot(r io.Reader) (MetricsSnapshot, error) {
+	return obs.ReadSnapshot(r)
+}
+
+// NewMetricsRegistry returns an empty live-metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // --- Figures ------------------------------------------------------------
 

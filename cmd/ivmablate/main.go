@@ -11,6 +11,8 @@ import (
 	"os"
 
 	"ivm/internal/machine"
+	"ivm/internal/obs"
+	"ivm/internal/obs/profile"
 	"ivm/internal/randaccess"
 	"ivm/internal/sweep"
 	"ivm/internal/textplot"
@@ -23,12 +25,22 @@ func main() {
 	maxInc := flag.Int("maxinc", 16, "largest increment to sweep")
 	workers := flag.Int("workers", 0, "sweep worker goroutines for the pairs study; 0 selects GOMAXPROCS")
 	cache := flag.Int("cache", sweep.DefaultCacheSize, "cyclic-state cache entries for the pairs study; negative disables")
+	metricsOut := flag.String("metrics-out", "", "write the pairs study's engine metrics snapshot as JSON")
+	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	stop, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	cfg := machine.DefaultConfig()
 	ran := false
+	var eng *sweep.Engine
 	if *study == "pairs" || *study == "all" {
-		pairs(*workers, *cache)
+		eng = sweep.NewEngine(sweep.Options{Workers: *workers, CacheSize: *cache})
+		pairs(eng)
 		ran = true
 	}
 	if *study == "multitask" || *study == "all" {
@@ -51,11 +63,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown study %q\n", *study)
 		os.Exit(1)
 	}
+	if *metricsOut != "" && eng != nil {
+		snap := eng.Snapshot()
+		if err := obs.WriteSnapshotFile(*metricsOut, obs.Snapshot{Engine: &snap}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := stop(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
-func pairs(workers, cache int) {
+func pairs(eng *sweep.Engine) {
 	fmt.Println("== pair grid on the X-MP memory (m=16, nc=4): cached parallel sweep vs the analysis")
-	eng := sweep.NewEngine(sweep.Options{Workers: workers, CacheSize: cache})
 	results := eng.Grid(16, 4)
 	fmt.Print(sweep.SummaryTable(sweep.Summarise(16, 4, results)))
 	fmt.Print(eng.Metrics().Table())

@@ -3,6 +3,12 @@
 // full-grid analytic-vs-simulation agreement, the Fig. 10 triad series
 // with the per-increment analytic verdict, and the ablation summaries.
 // Its output is the machine-generated counterpart of EXPERIMENTS.md.
+//
+// The grid sweeps run on the parallel sweep engine (-workers/-cache);
+// the report is byte-identical to the sequential path apart from the
+// appended engine-counter section. -metrics-out captures the engine
+// snapshot (cache hit rate, per-worker utilisation) as JSON, and the
+// shared -cpuprofile/-memprofile/-trace flags profile the run.
 package main
 
 import (
@@ -10,19 +16,49 @@ import (
 	"fmt"
 	"os"
 
+	"ivm/internal/obs"
+	"ivm/internal/obs/profile"
 	"ivm/internal/report"
+	"ivm/internal/sweep"
 )
 
 func main() {
 	fast := flag.Bool("fast", false, "shrink the expensive sweeps")
+	workers := flag.Int("workers", 0, "sweep worker goroutines; 0 selects GOMAXPROCS")
+	cache := flag.Int("cache", sweep.DefaultCacheSize, "cyclic-state cache entries; negative disables caching")
+	metricsOut := flag.String("metrics-out", "", "write the engine metrics snapshot as JSON to this file")
+	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	stop, err := prof.Start()
+	if err != nil {
+		fail(err)
+	}
 
 	opts := report.Defaults()
 	if *fast {
 		opts = report.Fast()
 	}
+	eng := sweep.NewEngine(sweep.Options{Workers: *workers, CacheSize: *cache})
+	opts.Engine = eng
+
 	if err := report.Write(os.Stdout, opts); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		stop()
+		fail(err)
 	}
+	if *metricsOut != "" {
+		snap := eng.Snapshot()
+		if err := obs.WriteSnapshotFile(*metricsOut, obs.Snapshot{Engine: &snap}); err != nil {
+			stop()
+			fail(err)
+		}
+	}
+	if err := stop(); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

@@ -6,6 +6,12 @@
 // Example (Fig. 3's barrier):
 //
 //	ivmsim -m 13 -nc 6 -streams 0:1,0:6
+//
+// Observability: -trace-out exports the timeline window as a Chrome
+// trace_event file (chrome://tracing, Perfetto), -csv-out as a CSV
+// timeline, -strip prints the bank-occupancy strip chart, and
+// -metrics-out writes the statistics and trace totals as JSON.
+// -cpuprofile/-memprofile/-trace profile the run itself.
 package main
 
 import (
@@ -17,6 +23,8 @@ import (
 
 	"ivm/internal/core"
 	"ivm/internal/memsys"
+	"ivm/internal/obs"
+	"ivm/internal/obs/profile"
 	"ivm/internal/stats"
 	"ivm/internal/textplot"
 	"ivm/internal/trace"
@@ -34,7 +42,17 @@ func main() {
 	analyze := flag.Bool("analyze", true, "print the analytic verdict for two-stream runs")
 	statsFlag := flag.Bool("stats", false, "print per-bank utilisation and delay-run statistics")
 	statsClocks := flag.Int64("statsclocks", 2048, "clocks to gather statistics over")
+	traceOut := flag.String("trace-out", "", "write the timeline window as Chrome trace_event JSON (open in chrome://tracing or Perfetto)")
+	csvOut := flag.String("csv-out", "", "write the timeline window as a CSV event timeline")
+	stripFlag := flag.Bool("strip", false, "print the timeline window's bank-occupancy strip chart")
+	metricsOut := flag.String("metrics-out", "", "write statistics and trace totals as a JSON metrics snapshot")
+	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	stop, err := prof.Start()
+	if err != nil {
+		fail("%v", err)
+	}
 
 	cfg := memsys.Config{Banks: *m, Sections: *s, BankBusy: *nc, CPUs: *cpus}
 	switch *priority {
@@ -64,6 +82,13 @@ func main() {
 
 	sys := memsys.New(cfg)
 	rec := trace.Attach(sys, 0, *clocks)
+	var tracer *obs.Tracer
+	if *traceOut != "" || *csvOut != "" || *stripFlag || *metricsOut != "" {
+		// The tracer shares the listener seam with the timeline
+		// recorder, observing the same window.
+		tracer = obs.NewTracer(obs.TracerOptions{})
+		sys.SetListener(obs.Tee{rec, tracer})
+	}
 	for i, sp := range specs {
 		sys.AddPort(sp.CPU, fmt.Sprintf("%d", i+1), memsys.NewInfiniteStrided(int64(sp.Start), int64(sp.Distance)))
 	}
@@ -98,13 +123,16 @@ func main() {
 		fmt.Printf("\nanalytic verdict: %s\n%s\n", a, a.Note)
 	}
 
-	if *statsFlag {
+	var col *stats.Collector
+	if *statsFlag || *metricsOut != "" {
 		sys3 := memsys.New(cfg)
-		col := stats.Attach(sys3)
+		col = stats.Attach(sys3)
 		for i, sp := range specs {
 			sys3.AddPort(sp.CPU, fmt.Sprintf("%d", i+1), memsys.NewInfiniteStrided(int64(sp.Start), int64(sp.Distance)))
 		}
 		sys3.Run(*statsClocks)
+	}
+	if *statsFlag {
 		fmt.Printf("\nstatistics over %d clocks:\n%s", *statsClocks, col.Report())
 		for i := range specs {
 			if runs := col.DelayRunLengths(i); len(runs) > 0 {
@@ -112,6 +140,57 @@ func main() {
 			}
 		}
 	}
+
+	if tracer != nil {
+		events := tracer.Events()
+		if *traceOut != "" {
+			if err := writeFile(*traceOut, func(w *os.File) error {
+				return obs.WriteChromeTrace(w, events, *m, *nc)
+			}); err != nil {
+				fail("%v", err)
+			}
+		}
+		if *csvOut != "" {
+			if err := writeFile(*csvOut, func(w *os.File) error {
+				return obs.WriteCSV(w, events)
+			}); err != nil {
+				fail("%v", err)
+			}
+		}
+		if *stripFlag {
+			fmt.Println()
+			fmt.Print(obs.StripChart(events, *m, *nc))
+		}
+	}
+	if *metricsOut != "" {
+		snap := obs.Snapshot{}
+		if col != nil {
+			cs := col.Snapshot()
+			snap.Stats = &cs
+		}
+		if tracer != nil {
+			ts := tracer.Stats()
+			snap.Trace = &ts
+		}
+		if err := obs.WriteSnapshotFile(*metricsOut, snap); err != nil {
+			fail("%v", err)
+		}
+	}
+	if err := stop(); err != nil {
+		fail("%v", err)
+	}
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseStreams(flagVal string, m, cpus int) ([]memsys.StreamSpec, error) {

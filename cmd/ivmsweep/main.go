@@ -7,12 +7,27 @@
 // byte-identical to the sequential path regardless of -workers/-cache.
 // (The engine-counter footer is diagnostic: concurrent workers can
 // both miss the same cache key, so its counts may vary by a few.)
+//
+// Observability: -trace-out exports the cycle search of one pair
+// (-trace-pair) as a Chrome trace_event file for chrome://tracing or
+// Perfetto, -csv-out the same window as CSV, -strip prints its
+// bank-occupancy strip chart; -metrics-out writes a JSON snapshot of
+// the engine counters (cache hit rate, per-worker utilisation) and
+// -metrics-addr serves them live (plus expvar and pprof) while the
+// sweep runs. -cpuprofile/-memprofile/-trace write pprof/runtime
+// profiles of the whole run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"strconv"
+	"strings"
 
+	"ivm/internal/memsys"
+	"ivm/internal/obs"
+	"ivm/internal/obs/profile"
 	"ivm/internal/sweep"
 )
 
@@ -25,28 +40,100 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep worker goroutines; 0 selects GOMAXPROCS")
 	cache := flag.Int("cache", sweep.DefaultCacheSize, "cyclic-state cache entries; negative disables caching")
 	showStats := flag.Bool("stats", false, "collect and print per-bank statistics of the simulated states")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of the traced pair's cycle search (open in chrome://tracing or Perfetto)")
+	csvOut := flag.String("csv-out", "", "write the traced pair's event timeline as CSV")
+	tracePair := flag.String("trace-pair", "1:2:0", "pair to trace as d1:d2[:b2]")
+	strip := flag.Bool("strip", false, "print the traced pair's bank-occupancy strip chart")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot (engine counters, per-worker utilisation, stats, trace totals)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address: /metrics JSON, /debug/vars expvar, /debug/pprof")
+	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	eng := sweep.NewEngine(sweep.Options{Workers: *workers, CacheSize: *cache, CollectStats: *showStats})
-	defer func() {
-		fmt.Println()
-		fmt.Print(eng.Metrics().Table())
-		if col := eng.Stats(); col != nil {
-			fmt.Println()
-			fmt.Print(col.Report())
-		}
-	}()
+	stop, err := prof.Start()
+	if err != nil {
+		fail("%v", err)
+	}
 
-	if *triples {
-		results := eng.Triples(*m, *nc)
+	eng := sweep.NewEngine(sweep.Options{Workers: *workers, CacheSize: *cache, CollectStats: *showStats})
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		reg.Register("engine", func() any { return eng.Snapshot() })
+		reg.Publish("ivmsweep")
+		addr, closer, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer closer.Close()
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", addr)
+	}
+
+	runSweeps(eng, *m, *nc, *secs, *triples, *full)
+
+	fmt.Println()
+	fmt.Print(eng.Metrics().Table())
+	col := eng.Stats()
+	if col != nil {
+		fmt.Println()
+		fmt.Print(col.Report())
+	}
+
+	var traceStats *obs.TraceStats
+	if *traceOut != "" || *csvOut != "" || *strip {
+		tr, err := traceOnePair(*m, *nc, *tracePair)
+		if err != nil {
+			fail("%v", err)
+		}
+		events := tr.Events()
+		if *traceOut != "" {
+			if err := writeFile(*traceOut, func(w *os.File) error {
+				return obs.WriteChromeTrace(w, events, *m, *nc)
+			}); err != nil {
+				fail("%v", err)
+			}
+		}
+		if *csvOut != "" {
+			if err := writeFile(*csvOut, func(w *os.File) error {
+				return obs.WriteCSV(w, events)
+			}); err != nil {
+				fail("%v", err)
+			}
+		}
+		if *strip {
+			fmt.Println()
+			fmt.Print(obs.StripChart(events, *m, *nc))
+		}
+		s := tr.Stats()
+		traceStats = &s
+	}
+
+	if *metricsOut != "" {
+		snap := obs.Snapshot{Trace: traceStats}
+		es := eng.Snapshot()
+		snap.Engine = &es
+		if col != nil {
+			cs := col.Snapshot()
+			snap.Stats = &cs
+		}
+		if err := obs.WriteSnapshotFile(*metricsOut, snap); err != nil {
+			fail("%v", err)
+		}
+	}
+	if err := stop(); err != nil {
+		fail("%v", err)
+	}
+}
+
+func runSweeps(eng *sweep.Engine, m, nc, secs int, triples, full bool) {
+	if triples {
+		results := eng.Triples(m, nc)
 		sum := sweep.SummariseTriples(results)
 		fmt.Printf("m=%d n_c=%d: %d distance triples; capacity bound attained by %d, violated by %d\n",
-			*m, *nc, sum.Triples, sum.Tight, sum.Violations)
+			m, nc, sum.Triples, sum.Tight, sum.Violations)
 		return
 	}
-	if *secs != 0 {
-		results := eng.SectionGrid(*m, *secs, *nc)
-		if *full {
+	if secs != 0 {
+		results := eng.SectionGrid(m, secs, nc)
+		if full {
 			fmt.Print(sweep.SectionTable(results))
 			fmt.Println()
 		}
@@ -56,20 +143,76 @@ func main() {
 				bad++
 			}
 		}
-		fmt.Printf("m=%d s=%d n_c=%d: %d pairs, %d disagreements\n", *m, *secs, *nc, len(results), bad)
+		fmt.Printf("m=%d s=%d n_c=%d: %d pairs, %d disagreements\n", m, secs, nc, len(results), bad)
 		return
 	}
 
-	results := eng.Grid(*m, *nc)
-	if *full {
+	results := eng.Grid(m, nc)
+	if full {
 		fmt.Print(sweep.Table(results))
 		fmt.Println()
 	}
-	s := sweep.Summarise(*m, *nc, results)
-	fmt.Printf("m=%d n_c=%d: %d stream pairs, each simulated from %d starts\n\n", *m, *nc, s.Pairs, *m)
+	s := sweep.Summarise(m, nc, results)
+	fmt.Printf("m=%d n_c=%d: %d stream pairs, each simulated from %d starts\n\n", m, nc, s.Pairs, m)
 	fmt.Print(sweep.SummaryTable(s))
 	if len(s.Disagree) > 0 {
 		fmt.Println("\ndisagreements:")
 		fmt.Print(sweep.Table(s.Disagree))
 	}
+}
+
+// traceOnePair re-simulates one pair's steady-state search with a
+// tracer attached, so the exported trace shows the transient before
+// the streams synchronise into their cyclic state.
+func traceOnePair(m, nc int, spec string) (*obs.Tracer, error) {
+	d1, d2, b2, err := parsePairSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	sys := memsys.New(memsys.Config{Banks: m, BankBusy: nc, CPUs: 2})
+	tr := obs.Attach(sys, obs.TracerOptions{})
+	sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, int64(d1)))
+	sys.AddPort(1, "2", memsys.NewInfiniteStrided(int64(b2), int64(d2)))
+	cyc, err := sys.FindCycle(1 << 22)
+	if err != nil {
+		return nil, fmt.Errorf("trace pair %s: %w", spec, err)
+	}
+	fmt.Printf("\ntraced pair %d(+)%d from b2=%d: b_eff=%s (lead %d, cycle %d)\n",
+		d1, d2, b2, cyc.EffectiveBandwidth(), cyc.Lead, cyc.Length)
+	return tr, nil
+}
+
+func parsePairSpec(spec string) (d1, d2, b2 int, err error) {
+	fields := strings.Split(spec, ":")
+	if len(fields) < 2 || len(fields) > 3 {
+		return 0, 0, 0, fmt.Errorf("trace pair: want d1:d2[:b2], got %q", spec)
+	}
+	vals := make([]int, len(fields))
+	for i, f := range fields {
+		if vals[i], err = strconv.Atoi(strings.TrimSpace(f)); err != nil {
+			return 0, 0, 0, fmt.Errorf("trace pair %q: %v", spec, err)
+		}
+	}
+	d1, d2 = vals[0], vals[1]
+	if len(vals) == 3 {
+		b2 = vals[2]
+	}
+	return d1, d2, b2, nil
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
 }

@@ -427,7 +427,11 @@ func (s *System) Step() int {
 			p.Src.Grant(t)
 			p.Count.Grants++
 			granted++
-			s.emit(Event{Clock: t, Port: p, Bank: bank, Kind: NoConflict})
+			// The nil check is inlined so the detached path constructs
+			// no Event and stays free of observability cost.
+			if s.listener != nil {
+				s.listener.Observe(Event{Clock: t, Port: p, Bank: bank, Kind: NoConflict})
+			}
 		} else {
 			switch kind {
 			case BankConflict:
@@ -437,7 +441,9 @@ func (s *System) Step() int {
 			case SectionConflict:
 				p.Count.Section++
 			}
-			s.emit(Event{Clock: t, Port: p, Bank: bank, Kind: kind, Blocker: blocker})
+			if s.listener != nil {
+				s.listener.Observe(Event{Clock: t, Port: p, Bank: bank, Kind: kind, Blocker: blocker})
+			}
 		}
 	}
 
@@ -451,12 +457,6 @@ func (s *System) Step() int {
 	}
 	s.clock++
 	return granted
-}
-
-func (s *System) emit(e Event) {
-	if s.listener != nil {
-		s.listener.Observe(e)
-	}
 }
 
 // PriorityHolderAt returns the port that holds the highest priority in

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"os"
+	"sync"
+
+	"ivm/internal/stats"
+	"ivm/internal/sweep"
+)
+
+// Snapshot is the one-shot metrics document the CLIs write with
+// -metrics-out: whichever of the three sources a run had, serialised
+// together. Every field round-trips through JSON unchanged.
+type Snapshot struct {
+	// Engine holds the parallel sweep engine's counters: cache hit
+	// rate, per-worker utilisation, steady-state detection latency.
+	Engine *sweep.Snapshot `json:"engine,omitempty"`
+	// Stats holds a stats.Collector's per-bank view of one simulation.
+	Stats *stats.Snapshot `json:"stats,omitempty"`
+	// Trace holds the tracer's exact totals for the traced window.
+	Trace *TraceStats `json:"trace,omitempty"`
+}
+
+// WriteSnapshot serialises the snapshot as indented JSON.
+func WriteSnapshot(w io.Writer, s Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSnapshot parses a snapshot written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("obs: bad metrics snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// WriteSnapshotFile writes the snapshot to a file (the CLIs'
+// -metrics-out).
+func WriteSnapshotFile(path string, s Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteSnapshot(f, s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Registry is a live metrics endpoint: named sources are polled on
+// every request, so a long sweep can be watched while it runs. It
+// serves its own JSON (ServeHTTP), and Serve additionally mounts
+// expvar under /debug/vars and net/http/pprof under /debug/pprof.
+type Registry struct {
+	mu      sync.Mutex
+	sources map[string]func() any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sources: make(map[string]func() any)}
+}
+
+// Register adds (or replaces) a named metrics source. The function is
+// called on every poll and must be safe to call concurrently with the
+// instrumented work — engine and tracer snapshots are.
+func (r *Registry) Register(name string, source func() any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sources[name] = source
+}
+
+// Gather polls every source once.
+func (r *Registry) Gather() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.sources))
+	for name, f := range r.sources {
+		out[name] = f()
+	}
+	return out
+}
+
+// ServeHTTP renders the gathered sources as indented JSON (keys
+// sorted by encoding/json's map ordering).
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Gather()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// published guards expvar.Publish, which panics on duplicate names.
+var published sync.Map
+
+// Publish exposes the registry under the given name in the process's
+// expvar set (/debug/vars). Publishing the same name twice is a
+// no-op: the first registry keeps the name.
+func (r *Registry) Publish(name string) {
+	if _, loaded := published.LoadOrStore(name, true); loaded {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Gather() }))
+}
+
+// Serve starts an HTTP server on addr (e.g. "localhost:6060", or
+// ":0" to pick a port) exposing the registry at /metrics, expvar at
+// /debug/vars and pprof at /debug/pprof/. It returns the bound
+// address and a closer; the server runs until closed.
+func (r *Registry) Serve(addr string) (boundAddr string, closer io.Closer, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
+	return ln.Addr().String(), closerFunc(func() error { return srv.Close() }), nil
+}
+
+type closerFunc func() error
+
+func (f closerFunc) Close() error { return f() }

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ivm/internal/memsys"
+	"ivm/internal/stats"
+	"ivm/internal/sweep"
+)
+
+// populatedSnapshot builds a snapshot with all three sources filled
+// from real runs, so the round trip exercises every field.
+func populatedSnapshot(t *testing.T) Snapshot {
+	t.Helper()
+
+	eng := sweep.NewEngine(sweep.Options{Workers: 2})
+	eng.Grid(8, 2)
+	es := eng.Snapshot()
+
+	sys := memsys.New(memsys.Config{Banks: 13, BankBusy: 6, CPUs: 2})
+	col := stats.Attach(sys)
+	sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, 1))
+	sys.AddPort(1, "2", memsys.NewInfiniteStrided(0, 6))
+	sys.Run(128)
+	cs := col.Snapshot()
+
+	sys2 := memsys.New(memsys.Config{Banks: 13, BankBusy: 6, CPUs: 2})
+	tr := Attach(sys2, TracerOptions{Capacity: 128})
+	sys2.AddPort(0, "1", memsys.NewInfiniteStrided(0, 1))
+	sys2.AddPort(1, "2", memsys.NewInfiniteStrided(0, 6))
+	sys2.Run(128)
+	ts := tr.Stats()
+
+	return Snapshot{Engine: &es, Stats: &cs, Trace: &ts}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	snap := populatedSnapshot(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Errorf("round trip drifted:\n got %+v\nwant %+v", got, snap)
+	}
+	// The snapshot must expose the headline quantities by name.
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"cache_hit_rate", "per_worker", "utilization", "bank_conflicts", "mean_cycle_clocks"} {
+		if !bytes.Contains(b, []byte(key)) {
+			t.Errorf("snapshot JSON lacks %q", key)
+		}
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	snap := populatedSnapshot(t)
+	path := t.TempDir() + "/metrics.json"
+	if err := WriteSnapshotFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := ReadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Error("file round trip drifted")
+	}
+}
+
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestRegistryServesJSON(t *testing.T) {
+	reg := NewRegistry()
+	eng := sweep.NewEngine(sweep.Options{})
+	eng.Grid(8, 2)
+	reg.Register("engine", func() any { return eng.Snapshot() })
+	reg.Register("static", func() any { return map[string]int{"answer": 42} })
+
+	rr := httptest.NewRecorder()
+	reg.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d", rr.Code)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("metrics endpoint not JSON: %v", err)
+	}
+	if _, ok := doc["engine"]; !ok {
+		t.Error("engine source missing")
+	}
+	var es sweep.Snapshot
+	if err := json.Unmarshal(doc["engine"], &es); err != nil {
+		t.Fatal(err)
+	}
+	if es.Metrics.PairsSwept == 0 {
+		t.Error("engine snapshot empty")
+	}
+}
+
+func TestRegistryServeEndToEnd(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("static", func() any { return map[string]int{"answer": 42} })
+	reg.Publish("obs_test_registry")
+	reg.Publish("obs_test_registry") // duplicate must not panic
+
+	addr, closer, err := reg.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback here: %v", err)
+	}
+	defer closer.Close()
+
+	for _, path := range []string{"/metrics", "/debug/vars"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if !json.Valid(body) {
+			t.Errorf("GET %s: not JSON: %.80s", path, body)
+		}
+	}
+}

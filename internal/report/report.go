@@ -26,6 +26,10 @@ type Options struct {
 	Grids [][2]int
 	// MaxInc bounds the ablation sweeps.
 	MaxInc int
+	// Engine, when non-nil, runs every grid cross-validation sweep on
+	// the parallel sweep engine (byte-identical tables) and appends an
+	// engine-counter section to the report.
+	Engine *sweep.Engine
 }
 
 // Defaults reproduces the full EXPERIMENTS.md record.
@@ -52,10 +56,21 @@ func Write(w io.Writer, opts Options) error {
 	if err := Figures(w); err != nil {
 		return err
 	}
-	Grids(w, opts.Grids)
+	gridsWith(w, opts.Grids, opts.Engine)
 	Triad(w, opts.TriadN)
 	Ablations(w, opts.TriadN/2, opts.MaxInc)
+	if opts.Engine != nil {
+		Engine(w, opts.Engine)
+	}
 	return nil
+}
+
+// Engine appends the sweep-engine counter section (parallel runs).
+func Engine(w io.Writer, eng *sweep.Engine) {
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "## Sweep engine")
+	fmt.Fprintln(w)
+	fmt.Fprint(w, eng.Metrics().Table())
 }
 
 // Figures writes the Figures 2–9 table.
@@ -81,13 +96,26 @@ func Figures(w io.Writer) error {
 
 // Grids writes the exhaustive cross-validation summary, including the
 // section-theorem grid on the X-MP layout and the three-stream
-// capacity-bound sweep.
-func Grids(w io.Writer, grids [][2]int) {
+// capacity-bound sweep, on the sequential reference path.
+func Grids(w io.Writer, grids [][2]int) { gridsWith(w, grids, nil) }
+
+// gridsWith runs the grid sections on the engine when one is given;
+// the tables are byte-identical either way.
+func gridsWith(w io.Writer, grids [][2]int, eng *sweep.Engine) {
+	grid := sweep.Grid
+	sectionGrid := sweep.SectionGrid
+	triples := sweep.SweepTriples
+	if eng != nil {
+		grid = eng.Grid
+		sectionGrid = eng.SectionGrid
+		triples = eng.Triples
+	}
+
 	fmt.Fprintln(w, "## Analytic model vs simulator (all pairs x all starts)")
 	fmt.Fprintln(w)
 	tbl := &textplot.Table{Header: []string{"m", "n_c", "pairs", "disagreements"}}
 	for _, g := range grids {
-		results := sweep.Grid(g[0], g[1])
+		results := grid(g[0], g[1])
 		s := sweep.Summarise(g[0], g[1], results)
 		tbl.Add(g[0], g[1], s.Pairs, len(s.Disagree))
 	}
@@ -98,7 +126,7 @@ func Grids(w io.Writer, grids [][2]int) {
 	fmt.Fprintln(w)
 	tbl = &textplot.Table{Header: []string{"m", "s", "n_c", "pairs", "disagreements"}}
 	for _, g := range [][3]int{{12, 2, 2}, {16, 4, 4}} {
-		results := sweep.SectionGrid(g[0], g[1], g[2])
+		results := sectionGrid(g[0], g[1], g[2])
 		bad := 0
 		for _, r := range results {
 			if !r.Agree {
@@ -112,7 +140,7 @@ func Grids(w io.Writer, grids [][2]int) {
 
 	fmt.Fprintln(w, "## Three-stream capacity bounds")
 	fmt.Fprintln(w)
-	tr := sweep.SummariseTriples(sweep.SweepTriples(12, 3))
+	tr := sweep.SummariseTriples(triples(12, 3))
 	fmt.Fprintf(w, "m=12 n_c=3: %d triples, bound attained by %d, violated by %d\n\n",
 		tr.Triples, tr.Tight, tr.Violations)
 }

@@ -244,6 +244,47 @@ func (c *Collector) HottestBank() int {
 	return best
 }
 
+// Snapshot is the JSON-serialisable view of a Collector, written by
+// the CLIs' -metrics-out flag. It round-trips through JSON unchanged.
+type Snapshot struct {
+	Banks                 int       `json:"banks"`
+	BankBusy              int       `json:"bank_busy"`
+	ObservedClocks        int64     `json:"observed_clocks"`
+	Grants                int64     `json:"grants"`
+	Delays                int64     `json:"delays"`
+	Bandwidth             float64   `json:"bandwidth"`
+	BankConflicts         int64     `json:"bank_conflicts"`
+	SimultaneousConflicts int64     `json:"simultaneous_conflicts"`
+	SectionConflicts      int64     `json:"section_conflicts"`
+	BankGrants            []int64   `json:"bank_grants"`
+	BankDelays            []int64   `json:"bank_delays"`
+	Utilization           []float64 `json:"utilization"`
+	GrantHistogram        []int64   `json:"grant_histogram"`
+}
+
+// Snapshot exports the collector's aggregates in serialisable form.
+func (c *Collector) Snapshot() Snapshot {
+	s := Snapshot{
+		Banks:                 c.banks,
+		BankBusy:              c.bankBusy,
+		ObservedClocks:        c.ObservedClocks(),
+		Grants:                c.totalGrants,
+		Delays:                c.totalDelays,
+		Bandwidth:             c.Bandwidth(),
+		BankConflicts:         c.KindCounts[memsys.BankConflict],
+		SimultaneousConflicts: c.KindCounts[memsys.SimultaneousConflict],
+		SectionConflicts:      c.KindCounts[memsys.SectionConflict],
+		BankGrants:            append([]int64(nil), c.BankGrants...),
+		BankDelays:            append([]int64(nil), c.BankDelays...),
+		Utilization:           make([]float64, c.banks),
+		GrantHistogram:        c.GrantHistogram(),
+	}
+	for b := 0; b < c.banks; b++ {
+		s.Utilization[b] = c.Utilization(b)
+	}
+	return s
+}
+
 // Report renders a per-bank utilisation table plus the conflict-kind
 // totals.
 func (c *Collector) Report() string {

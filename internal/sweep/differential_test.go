@@ -18,8 +18,8 @@ func TestDifferentialRandomPairs(t *testing.T) {
 	rng := rand.New(rand.NewSource(19850712))
 	eng := NewEngine(Options{Workers: 4})
 	for trial := 0; trial < 50; trial++ {
-		m := 2 + rng.Intn(15)  // 2..16
-		nc := 1 + rng.Intn(4)  // 1..4
+		m := 2 + rng.Intn(15) // 2..16
+		nc := 1 + rng.Intn(4) // 1..4
 		d1 := rng.Intn(m)
 		d2 := rng.Intn(m)
 		seq := SweepPair(m, nc, d1, d2)

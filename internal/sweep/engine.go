@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ivm/internal/memsys"
 	"ivm/internal/modmath"
@@ -41,12 +42,12 @@ type Options struct {
 // Metrics are the engine's cumulative counters. All values aggregate
 // over every sweep the engine has run.
 type Metrics struct {
-	CacheHits      int64 // starts answered from the memo cache
-	CacheMisses    int64 // starts that had to be simulated
-	CacheEntries   int   // entries currently cached
-	CyclesFound    int64 // cyclic steady states detected
-	StepsSimulated int64 // clock periods stepped across all simulations
-	PairsSwept     int64 // pair (and triple) sweep units completed
+	CacheHits      int64 `json:"cache_hits"`      // starts answered from the memo cache
+	CacheMisses    int64 `json:"cache_misses"`    // starts that had to be simulated
+	CacheEntries   int   `json:"cache_entries"`   // entries currently cached
+	CyclesFound    int64 `json:"cycles_found"`    // cyclic steady states detected
+	StepsSimulated int64 `json:"steps_simulated"` // clock periods stepped across all simulations
+	PairsSwept     int64 `json:"pairs_swept"`     // pair (and triple) sweep units completed
 }
 
 // HitRate returns the cache hit fraction, 0 when the cache was unused.
@@ -90,8 +91,14 @@ type Engine struct {
 
 	hits, misses, cycles, steps, pairs atomic.Int64
 
-	mu    sync.Mutex
-	stats *stats.Collector
+	// Observability counters (see Snapshot): wall time spent inside
+	// sweep calls, wall time inside steady-state detection, and the
+	// cumulative per-pool-slot work totals.
+	wallNS, cycleNS atomic.Int64
+
+	mu           sync.Mutex
+	stats        *stats.Collector
+	workerTotals []WorkerStat
 
 	// onHit is a test hook observing cache hits (set before sweeping).
 	onHit func(pairKey)
@@ -159,6 +166,14 @@ func (e *Engine) run(n int, f func(w *worker, i int)) {
 	if n == 0 {
 		return
 	}
+	start := time.Now()
+	defer func() { e.wallNS.Add(time.Since(start).Nanoseconds()) }()
+	work := func(w *worker, i int) {
+		t0 := time.Now()
+		f(w, i)
+		w.busyNS += time.Since(t0).Nanoseconds()
+		w.items++
+	}
 	workers := e.workers()
 	if workers > n {
 		workers = n
@@ -166,7 +181,7 @@ func (e *Engine) run(n int, f func(w *worker, i int)) {
 	if workers <= 1 {
 		w := &worker{e: e}
 		for i := 0; i < n; i++ {
-			f(w, i)
+			work(w, i)
 		}
 		w.finish()
 		return
@@ -175,18 +190,18 @@ func (e *Engine) run(n int, f func(w *worker, i int)) {
 	var wg sync.WaitGroup
 	for k := 0; k < workers; k++ {
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
-			w := &worker{e: e}
+			w := &worker{e: e, id: id}
 			defer w.finish()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				f(w, i)
+				work(w, i)
 			}
-		}()
+		}(k)
 	}
 	wg.Wait()
 }
@@ -244,9 +259,15 @@ func (e *Engine) Triples(m, nc int) []TripleResult {
 // modulus.
 type worker struct {
 	e   *Engine
+	id  int
 	sys *memsys.System
 	cfg memsys.Config
 	col *stats.Collector
+
+	// Per-slot work totals, folded into the engine by finish().
+	items  int64
+	steps  int64
+	busyNS int64
 
 	units  []int
 	unitsM int
@@ -268,8 +289,21 @@ func (w *worker) system(cfg memsys.Config) *memsys.System {
 	return w.sys
 }
 
-// finish folds the worker's collector into the engine.
-func (w *worker) finish() { w.flushStats() }
+// finish folds the worker's collector and work totals into the engine.
+func (w *worker) finish() {
+	w.flushStats()
+	e := w.e
+	e.mu.Lock()
+	for len(e.workerTotals) <= w.id {
+		e.workerTotals = append(e.workerTotals, WorkerStat{Worker: len(e.workerTotals)})
+	}
+	t := &e.workerTotals[w.id]
+	t.Items += w.items
+	t.Steps += w.steps
+	t.BusyNS += w.busyNS
+	e.mu.Unlock()
+	w.items, w.steps, w.busyNS = 0, 0, 0
+}
 
 func (w *worker) flushStats() {
 	if w.col == nil {
@@ -289,12 +323,15 @@ func (w *worker) flushStats() {
 // findCycle runs steady-state detection on the worker's simulator and
 // accounts for it in the engine counters.
 func (w *worker) findCycle(sys *memsys.System, what string) memsys.Cycle {
+	t0 := time.Now()
 	c, err := sys.FindCycle(findCycleBudget)
+	w.e.cycleNS.Add(time.Since(t0).Nanoseconds())
 	if err != nil {
 		panic(fmt.Sprintf("sweep: %s: %v", what, err))
 	}
 	w.e.cycles.Add(1)
 	w.e.steps.Add(c.Lead + c.Length)
+	w.steps += c.Lead + c.Length
 	return c
 }
 

@@ -1,0 +1,68 @@
+package sweep
+
+// Engine observability: a JSON-serialisable snapshot of the engine's
+// cumulative counters plus the per-pool-slot work distribution, the
+// raw material of the BENCH_*.json perf trajectory and the CLIs'
+// -metrics-out output.
+
+// WorkerStat is the cumulative work of one pool slot (slot k of every
+// sweep call maps to entry k; the single-worker fallback is slot 0).
+type WorkerStat struct {
+	Worker int   `json:"worker"`
+	Items  int64 `json:"items"`   // work items (pair/triple sweep units) completed
+	Steps  int64 `json:"steps"`   // simulator clocks stepped by this slot
+	BusyNS int64 `json:"busy_ns"` // wall time spent inside work items
+	// Utilization is BusyNS over the engine's total sweep wall time,
+	// clamped to [0,1]: how busy this slot was while sweeps ran.
+	Utilization float64 `json:"utilization"`
+}
+
+// Snapshot is the engine's full observability view. All fields
+// aggregate over every sweep the engine has run.
+type Snapshot struct {
+	Workers      int     `json:"workers"` // configured pool size
+	Metrics      Metrics `json:"metrics"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// WallNS is wall time spent inside sweep calls; CycleDetectNS the
+	// part spent in steady-state detection (summed across workers, so
+	// it can exceed WallNS on a multi-core sweep).
+	WallNS        int64 `json:"wall_ns"`
+	CycleDetectNS int64 `json:"cycle_detect_ns"`
+	// MeanCycleClocks and MeanCycleDetectNS are the steady-state
+	// detection latency per simulated start, in simulator clocks
+	// (lead + period) and wall nanoseconds.
+	MeanCycleClocks   float64      `json:"mean_cycle_clocks"`
+	MeanCycleDetectNS float64      `json:"mean_cycle_detect_ns"`
+	PerWorker         []WorkerStat `json:"per_worker,omitempty"`
+}
+
+// Snapshot captures the engine's counters and per-worker utilisation.
+// Safe to call concurrently with running sweeps; slots still mid-item
+// report their work as of their last finished sweep.
+func (e *Engine) Snapshot() Snapshot {
+	m := e.Metrics()
+	s := Snapshot{
+		Workers:       e.workers(),
+		Metrics:       m,
+		CacheHitRate:  m.HitRate(),
+		WallNS:        e.wallNS.Load(),
+		CycleDetectNS: e.cycleNS.Load(),
+	}
+	if m.CyclesFound > 0 {
+		s.MeanCycleClocks = float64(m.StepsSimulated) / float64(m.CyclesFound)
+		s.MeanCycleDetectNS = float64(s.CycleDetectNS) / float64(m.CyclesFound)
+	}
+	e.mu.Lock()
+	s.PerWorker = append([]WorkerStat(nil), e.workerTotals...)
+	e.mu.Unlock()
+	for i := range s.PerWorker {
+		if s.WallNS > 0 {
+			u := float64(s.PerWorker[i].BusyNS) / float64(s.WallNS)
+			if u > 1 {
+				u = 1
+			}
+			s.PerWorker[i].Utilization = u
+		}
+	}
+	return s
+}

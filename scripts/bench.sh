@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Sweep-engine benchmark harness: runs the sequential/parallel sweep
+# benchmarks with allocation stats and distils the result into a
+# machine-readable BENCH_sweep.json next to the repo root.
+#
+# Usage: scripts/bench.sh [count]
+#   count  -benchtime iteration override, e.g. "10x" (default: 1s timed)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-1s}"
+out="BENCH_sweep.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkSweep(Sequential|Parallel)$' \
+	-benchmem -benchtime "$benchtime" . | tee "$raw"
+
+# Benchmark lines look like:
+#   BenchmarkSweepSequential-8  3  401ms/op  12 B/op  1 allocs/op  930 pairs
+#   BenchmarkSweepParallel-8    9  120ms/op  98.2 cache_hit_%  3.3 speedup_vs_seq ...
+awk -v benchtime="$benchtime" '
+function metric(name,   i) {
+	for (i = 3; i < NF; i++) {
+		if ($(i + 1) == name) return $i
+	}
+	return "null"
+}
+/^BenchmarkSweepSequential/ {
+	seq_ns = metric("ns/op"); seq_allocs = metric("allocs/op"); seq_pairs = metric("pairs")
+}
+/^BenchmarkSweepParallel/ {
+	par_ns = metric("ns/op"); par_allocs = metric("allocs/op")
+	hit = metric("cache_hit_%"); speedup = metric("speedup_vs_seq")
+}
+END {
+	if (seq_ns == "" || par_ns == "") {
+		print "bench.sh: missing benchmark output" > "/dev/stderr"; exit 1
+	}
+	printf "{\n"
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"sequential\": {\"ns_per_op\": %s, \"allocs_per_op\": %s, \"pairs\": %s},\n", seq_ns, seq_allocs, seq_pairs
+	printf "  \"parallel\": {\"ns_per_op\": %s, \"allocs_per_op\": %s},\n", par_ns, par_allocs
+	printf "  \"cache_hit_rate_percent\": %s,\n", hit
+	printf "  \"speedup_vs_sequential\": %s\n", speedup
+	printf "}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out:"
+cat "$out"

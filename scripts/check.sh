@@ -1,8 +1,25 @@
 #!/usr/bin/env bash
-# Full verification gauntlet: vet plus race-enabled tests. Pass package
-# patterns to narrow the run (default: everything).
+# Full verification gauntlet: formatting, vet, and race-enabled tests.
+# Pass package patterns to narrow the test run (default: everything).
+# The observability package is always exercised under the race
+# detector, even for narrowed runs, because its tracer counters are
+# read across goroutines.
+#
+# Golden files: the exporter tests in internal/obs compare against
+# testdata/; after an intentional output change, regenerate with
+#
+#	go test ./internal/obs -run TestExporterGolden -update
+#
+# and review the testdata diff before committing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 if [ "$#" -eq 0 ]; then
 	set -- ./...
@@ -10,3 +27,4 @@ fi
 
 go vet "$@"
 go test -race "$@"
+go test -race ./internal/obs/...
