@@ -228,6 +228,35 @@ func SummariseSweep(m, nc int, results []SweepPairResult) SweepSummary {
 	return sweep.Summarise(m, nc, results)
 }
 
+// SweepTripleResult compares one distance triple's simulated cyclic
+// states over all relative placements with the per-placement capacity
+// bounds.
+type SweepTripleResult = sweep.TripleSweepResult
+
+// SweepTripleGridSummary aggregates an all-placements triple sweep.
+type SweepTripleGridSummary = sweep.TripleGridSummary
+
+// SweepSectionPairResult compares the section theorems with simulation
+// for one distance pair of a sectioned (m, s, nc) memory.
+type SweepSectionPairResult = sweep.SectionPairResult
+
+// SweepTripleGrid sweeps every unordered distance triple of an (m, nc)
+// memory over all m^2 relative placements sequentially;
+// NewSweepEngine(...).TripleGrid is the parallel, cached equivalent.
+func SweepTripleGrid(m, nc int) []SweepTripleResult { return sweep.TripleGrid(m, nc) }
+
+// SummariseSweepTripleGrid aggregates an all-placements triple sweep.
+func SummariseSweepTripleGrid(m, nc int, results []SweepTripleResult) SweepTripleGridSummary {
+	return sweep.SummariseTripleGrid(m, nc, results)
+}
+
+// SweepSectionGrid sweeps every pair of a sectioned (m, s, nc) memory
+// sequentially; NewSweepEngine(...).SectionGrid is the parallel, cached
+// equivalent.
+func SweepSectionGrid(m, s, nc int) []SweepSectionPairResult {
+	return sweep.SectionGrid(m, s, nc)
+}
+
 // PairBandwidthBounds returns the provable sandwich on any pair's
 // cyclic-state bandwidth: 1/nc <= b_eff <= the two-stream capacity.
 func PairBandwidthBounds(m, nc, d1, d2 int) (lo, hi Rational) {

@@ -195,6 +195,78 @@ func BenchmarkSweepParallel(b *testing.B) {
 	b.ReportMetric(seq.Seconds()/(b.Elapsed().Seconds()/float64(b.N)), "speedup_vs_seq")
 }
 
+// The EXPERIMENTS.md triple grid: all-placements three-stream sweeps
+// on the prime moduli, where the unit-group canonicalisation collapses
+// most placements (power-of-two moduli have large stabilisers and
+// fall below the 50% acceptance floor; see docs/CACHING.md).
+var tripleBenchGrid = []struct{ m, nc int }{{7, 2}, {13, 4}}
+
+func BenchmarkSweepTriplesSequential(b *testing.B) {
+	var placements int
+	for i := 0; i < b.N; i++ {
+		placements = 0
+		for _, g := range tripleBenchGrid {
+			for _, r := range sweep.TripleGrid(g.m, g.nc) {
+				placements += r.Starts
+			}
+		}
+	}
+	b.ReportMetric(float64(placements), "placements")
+}
+
+func BenchmarkSweepTriplesParallel(b *testing.B) {
+	start := time.Now()
+	for _, g := range tripleBenchGrid {
+		sweep.TripleGrid(g.m, g.nc)
+	}
+	seq := time.Since(start)
+	var hitRate float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := sweep.NewEngine(sweep.Options{Workers: 4})
+		for _, g := range tripleBenchGrid {
+			eng.TripleGrid(g.m, g.nc)
+		}
+		hitRate = eng.Metrics().TripleHitRate()
+	}
+	b.ReportMetric(hitRate*100, "triple_cache_hit_%")
+	b.ReportMetric(seq.Seconds()/(b.Elapsed().Seconds()/float64(b.N)), "speedup_vs_seq")
+}
+
+// The EXPERIMENTS.md section grids: the Fig. 7 modulus and the X-MP
+// layout, canonicalised under the section-fixing unit subgroup.
+var sectionBenchGrid = []struct{ m, s, nc int }{{12, 3, 3}, {16, 4, 4}}
+
+func BenchmarkSweepSectionsSequential(b *testing.B) {
+	var pairs int
+	for i := 0; i < b.N; i++ {
+		pairs = 0
+		for _, g := range sectionBenchGrid {
+			pairs += len(sweep.SectionGrid(g.m, g.s, g.nc))
+		}
+	}
+	b.ReportMetric(float64(pairs), "pairs")
+}
+
+func BenchmarkSweepSectionsParallel(b *testing.B) {
+	start := time.Now()
+	for _, g := range sectionBenchGrid {
+		sweep.SectionGrid(g.m, g.s, g.nc)
+	}
+	seq := time.Since(start)
+	var hitRate float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := sweep.NewEngine(sweep.Options{Workers: 4})
+		for _, g := range sectionBenchGrid {
+			eng.SectionGrid(g.m, g.s, g.nc)
+		}
+		hitRate = eng.Metrics().SectionHitRate()
+	}
+	b.ReportMetric(hitRate*100, "section_cache_hit_%")
+	b.ReportMetric(seq.Seconds()/(b.Elapsed().Seconds()/float64(b.N)), "speedup_vs_seq")
+}
+
 // Theorems 4-7 / Eq. 29: every unique-barrier pair of the 16-bank
 // system simulated from all starts.
 func BenchmarkBarrierBandwidthSweep(b *testing.B) {

@@ -20,12 +20,12 @@ import (
 )
 
 func main() {
-	study := flag.String("study", "all", "which study: pairs|multitask|skew|kernels|random|all")
+	study := flag.String("study", "all", "which study: pairs|triples|sections|multitask|skew|kernels|random|all")
 	n := flag.Int("n", 512, "vector length per stream")
 	maxInc := flag.Int("maxinc", 16, "largest increment to sweep")
-	workers := flag.Int("workers", 0, "sweep worker goroutines for the pairs study; 0 selects GOMAXPROCS")
-	cache := flag.Int("cache", sweep.DefaultCacheSize, "cyclic-state cache entries for the pairs study; negative disables")
-	metricsOut := flag.String("metrics-out", "", "write the pairs study's engine metrics snapshot as JSON")
+	workers := flag.Int("workers", 0, "sweep worker goroutines for the engine studies; 0 selects GOMAXPROCS")
+	cache := flag.Int("cache", sweep.DefaultCacheSize, "cyclic-state cache entries for the engine studies, shared by pair, triple and section sweeps; negative disables")
+	metricsOut := flag.String("metrics-out", "", "write the engine studies' metrics snapshot as JSON")
 	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -38,9 +38,22 @@ func main() {
 	cfg := machine.DefaultConfig()
 	ran := false
 	var eng *sweep.Engine
+	engine := func() *sweep.Engine {
+		if eng == nil {
+			eng = sweep.NewEngine(sweep.Options{Workers: *workers, CacheSize: *cache})
+		}
+		return eng
+	}
 	if *study == "pairs" || *study == "all" {
-		eng = sweep.NewEngine(sweep.Options{Workers: *workers, CacheSize: *cache})
-		pairs(eng)
+		pairs(engine())
+		ran = true
+	}
+	if *study == "triples" || *study == "all" {
+		triplesStudy(engine())
+		ran = true
+	}
+	if *study == "sections" || *study == "all" {
+		sectionsStudy(engine())
 		ran = true
 	}
 	if *study == "multitask" || *study == "all" {
@@ -81,6 +94,34 @@ func pairs(eng *sweep.Engine) {
 	results := eng.Grid(16, 4)
 	fmt.Print(sweep.SummaryTable(sweep.Summarise(16, 4, results)))
 	fmt.Print(eng.Metrics().Table())
+	fmt.Println()
+}
+
+func triplesStudy(eng *sweep.Engine) {
+	fmt.Println("== three-stream capacity bounds (m=8, nc=2): all placements vs core.MultiStreamBound")
+	results := eng.TripleGrid(8, 2)
+	s := sweep.SummariseTripleGrid(8, 2, results)
+	fmt.Printf("%d triples over %d placements: bound attained somewhere by %d triples (%d placements), violated by %d\n",
+		s.Triples, s.Starts, s.TightSomewhere, s.TightStarts, s.Violations)
+	m := eng.Metrics()
+	fmt.Printf("triple cache: %.0f%% hits (%d/%d)\n",
+		m.TripleHitRate()*100, m.TripleCacheHits, m.TripleCacheHits+m.TripleCacheMisses)
+	fmt.Println()
+}
+
+func sectionsStudy(eng *sweep.Engine) {
+	fmt.Println("== section theorems on the X-MP layout (m=16, s=4, nc=4): cached parallel sweep")
+	results := eng.SectionGrid(16, 4, 4)
+	bad := 0
+	for _, r := range results {
+		if !r.Agree {
+			bad++
+		}
+	}
+	fmt.Printf("%d pairs, %d disagreements\n", len(results), bad)
+	m := eng.Metrics()
+	fmt.Printf("section cache: %.0f%% hits (%d/%d)\n",
+		m.SectionHitRate()*100, m.SectionCacheHits, m.SectionCacheHits+m.SectionCacheMisses)
 	fmt.Println()
 }
 

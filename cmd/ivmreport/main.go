@@ -25,7 +25,7 @@ import (
 func main() {
 	fast := flag.Bool("fast", false, "shrink the expensive sweeps")
 	workers := flag.Int("workers", 0, "sweep worker goroutines; 0 selects GOMAXPROCS")
-	cache := flag.Int("cache", sweep.DefaultCacheSize, "cyclic-state cache entries; negative disables caching")
+	cache := flag.Int("cache", sweep.DefaultCacheSize, "cyclic-state cache entries, shared by pair, triple and section sweeps; negative disables caching")
 	metricsOut := flag.String("metrics-out", "", "write the engine metrics snapshot as JSON to this file")
 	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()

@@ -35,10 +35,11 @@ func main() {
 	m := flag.Int("m", 16, "number of banks")
 	nc := flag.Int("nc", 4, "bank busy time in clock periods")
 	secs := flag.Int("s", 0, "number of sections; nonzero selects the section-theorem sweep (one CPU, Theorems 8/9)")
-	triples := flag.Bool("triples", false, "sweep three-stream triples against the capacity bounds instead")
+	triples := flag.Bool("triples", false, "sweep three-stream triples (all relative placements) against the capacity bounds instead")
+	census := flag.Bool("triple-census", false, "with -triples: only the fixed placement (0,1,2) per triple, the cheap regime scan")
 	full := flag.Bool("full", false, "print the full per-pair table (default: summary only)")
 	workers := flag.Int("workers", 0, "sweep worker goroutines; 0 selects GOMAXPROCS")
-	cache := flag.Int("cache", sweep.DefaultCacheSize, "cyclic-state cache entries; negative disables caching")
+	cache := flag.Int("cache", sweep.DefaultCacheSize, "cyclic-state cache entries, shared by pair, triple and section sweeps; negative disables caching")
 	showStats := flag.Bool("stats", false, "collect and print per-bank statistics of the simulated states")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of the traced pair's cycle search (open in chrome://tracing or Perfetto)")
 	csvOut := flag.String("csv-out", "", "write the traced pair's event timeline as CSV")
@@ -67,7 +68,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", addr)
 	}
 
-	runSweeps(eng, *m, *nc, *secs, *triples, *full)
+	runSweeps(eng, *m, *nc, *secs, *triples, *census, *full)
 
 	fmt.Println()
 	fmt.Print(eng.Metrics().Table())
@@ -123,12 +124,23 @@ func main() {
 	}
 }
 
-func runSweeps(eng *sweep.Engine, m, nc, secs int, triples, full bool) {
+func runSweeps(eng *sweep.Engine, m, nc, secs int, triples, census, full bool) {
 	if triples {
-		results := eng.Triples(m, nc)
-		sum := sweep.SummariseTriples(results)
-		fmt.Printf("m=%d n_c=%d: %d distance triples; capacity bound attained by %d, violated by %d\n",
-			m, nc, sum.Triples, sum.Tight, sum.Violations)
+		if census {
+			results := eng.Triples(m, nc)
+			sum := sweep.SummariseTriples(results)
+			fmt.Printf("m=%d n_c=%d: %d distance triples at placement (0,1,2); capacity bound attained by %d, violated by %d\n",
+				m, nc, sum.Triples, sum.Tight, sum.Violations)
+			return
+		}
+		results := eng.TripleGrid(m, nc)
+		if full {
+			fmt.Print(sweep.TripleGridTable(results))
+			fmt.Println()
+		}
+		sum := sweep.SummariseTripleGrid(m, nc, results)
+		fmt.Printf("m=%d n_c=%d: %d distance triples over %d placements; bound attained somewhere by %d triples (%d placements), violated by %d\n",
+			m, nc, sum.Triples, sum.Starts, sum.TightSomewhere, sum.TightStarts, sum.Violations)
 		return
 	}
 	if secs != 0 {

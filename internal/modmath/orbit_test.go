@@ -1,0 +1,151 @@
+package modmath
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestUnitsFixing(t *testing.T) {
+	cases := []struct {
+		m, s int
+		want []int
+	}{
+		{12, 1, []int{1, 5, 7, 11}},
+		{12, 2, []int{1, 5, 7, 11}}, // every unit of Z_12 is odd
+		{12, 3, []int{1, 7}},
+		{12, 4, []int{1, 5}},
+		{16, 4, []int{1, 5, 9, 13}},
+		{16, 8, []int{1, 9}},
+		{13, 13, []int{1}},
+		{1, 1, nil},
+	}
+	for _, c := range cases {
+		got := UnitsFixing(c.m, c.s)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("UnitsFixing(%d, %d) = %v, want %v", c.m, c.s, got, c.want)
+		}
+	}
+}
+
+func TestUnitsFixingRejectsNonDivisor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UnitsFixing(12, 5) did not panic")
+		}
+	}()
+	UnitsFixing(12, 5)
+}
+
+// UnitsFixing(m, s) must be a subgroup of the units of Z_m: it contains
+// 1, is closed under multiplication mod m, and contains inverses.
+func TestUnitsFixingIsSubgroup(t *testing.T) {
+	for _, m := range []int{2, 8, 12, 13, 16, 24} {
+		for _, s := range Divisors(m) {
+			us := UnitsFixing(m, s)
+			in := make(map[int]bool, len(us))
+			for _, u := range us {
+				in[u] = true
+			}
+			if len(us) > 0 && !in[1] {
+				t.Fatalf("m=%d s=%d: identity missing from %v", m, s, us)
+			}
+			for _, a := range us {
+				inv, ok := Inverse(a, m)
+				if !ok || !in[inv] {
+					t.Fatalf("m=%d s=%d: inverse of %d (= %d) not in subgroup %v", m, s, a, inv, us)
+				}
+				for _, b := range us {
+					if !in[Mod(a*b, m)] {
+						t.Fatalf("m=%d s=%d: %d*%d = %d escapes subgroup %v", m, s, a, b, Mod(a*b, m), us)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The canonical form is orbit-invariant: every member of an orbit maps
+// to the same canonical vector, and the canonical vector is itself a
+// member of the orbit.
+func TestCanonicalOrbitInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1985))
+	for trial := 0; trial < 300; trial++ {
+		m := 1 + rng.Intn(24)
+		s := Divisors(m)[rng.Intn(len(Divisors(m)))]
+		n := 1 + rng.Intn(5)
+		v := make([]int, n)
+		for i := range v {
+			v[i] = rng.Intn(3*m) - m // exercise reduction of out-of-range values
+		}
+		units := UnitsFixing(m, s)
+		want := Canonical(v, m, units)
+
+		orbit := Orbit(v, m, units)
+		if !reflect.DeepEqual(orbit[0], want) {
+			t.Fatalf("m=%d s=%d v=%v: orbit minimum %v != canonical %v", m, s, v, orbit[0], want)
+		}
+		for _, w := range orbit {
+			if got := Canonical(w, m, units); !reflect.DeepEqual(got, want) {
+				t.Fatalf("m=%d s=%d: orbit member %v canonicalises to %v, not %v", m, s, w, got, want)
+			}
+		}
+		for _, u := range units {
+			scaled := make([]int, n)
+			for i := range v {
+				scaled[i] = Mod(u*Mod(v[i], m), m)
+			}
+			if got := Canonical(scaled, m, units); !reflect.DeepEqual(got, want) {
+				t.Fatalf("m=%d s=%d v=%v u=%d: canonical %v != %v", m, s, v, u, got, want)
+			}
+		}
+	}
+}
+
+// Orbit sizes divide the group order (orbit–stabiliser theorem) — a
+// structural check that Orbit enumerates exactly one group action.
+func TestOrbitSizeDividesGroupOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		m := 2 + rng.Intn(23)
+		divs := Divisors(m)
+		s := divs[rng.Intn(len(divs))]
+		units := UnitsFixing(m, s)
+		if len(units) == 0 {
+			continue
+		}
+		v := []int{rng.Intn(m), rng.Intn(m), rng.Intn(m)}
+		if n := len(Orbit(v, m, units)); len(units)%n != 0 {
+			t.Fatalf("m=%d s=%d v=%v: orbit size %d does not divide group order %d", m, s, v, n, len(units))
+		}
+	}
+}
+
+// The sectioned subgroup really fixes sections: u*j ≡ j (mod s) for
+// every bank j and every u in UnitsFixing(m, s).
+func TestUnitsFixingFixesSections(t *testing.T) {
+	for _, m := range []int{8, 12, 16, 24} {
+		for _, s := range Divisors(m) {
+			for _, u := range UnitsFixing(m, s) {
+				for j := 0; j < m; j++ {
+					if Mod(u*j, m)%s != j%s {
+						t.Fatalf("m=%d s=%d u=%d: bank %d moved from section %d to %d",
+							m, s, u, j, j%s, Mod(u*j, m)%s)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCanonicalizeIntoLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	CanonicalizeInto(make([]int, 2), make([]int, 3), 5, Units(5))
+}

@@ -6,18 +6,73 @@ import (
 	"ivm/internal/rat"
 )
 
-// pairKey identifies one cyclic steady state of the sectionless pair
-// configuration, in canonical (orbit-minimal) form.
-type pairKey struct {
-	M, NC, D1, D2, B2 int
+// sweepKind distinguishes the three cached configuration families. It
+// is part of the cache key: a pair, a triple and a section pair with
+// numerically identical vectors are different simulations.
+type sweepKind uint8
+
+const (
+	// kindPair is the sectionless two-stream configuration (two CPUs,
+	// streams (0, d1) and (b2, d2)); vector (d1, d2, b2).
+	kindPair sweepKind = iota
+	// kindSection is the sectioned one-CPU two-port configuration of
+	// the Theorem 8/9 sweeps; vector (d1, d2, b2), sections recorded
+	// in cacheKey.S.
+	kindSection
+	// kindTriple is the sectionless three-stream configuration (three
+	// CPUs, streams (0, d1), (b2, d2), (b3, d3)); vector
+	// (d1, d2, d3, b2, b3).
+	kindTriple
+	// numKinds sizes the per-kind counter arrays.
+	numKinds
+)
+
+// String names the kind for counter tables.
+func (k sweepKind) String() string {
+	switch k {
+	case kindPair:
+		return "pair"
+	case kindSection:
+		return "section"
+	case kindTriple:
+		return "triple"
+	}
+	return "unknown"
+}
+
+// vecLen is the number of meaningful elements of cacheKey.V for this
+// kind; the rest stay zero and do not perturb equality or hashing.
+func (k sweepKind) vecLen() int {
+	if k == kindTriple {
+		return 5
+	}
+	return 3
+}
+
+// cacheKey identifies one cyclic steady state in canonical
+// (orbit-minimal) form: the configuration family, the memory shape
+// (m, s, n_c) and the distance/start vector after canonicalisation
+// under the section-respecting unit group (see worker.canonicalKey and
+// docs/CACHING.md).
+type cacheKey struct {
+	Kind     sweepKind
+	M, S, NC int
+	V        [5]int
 }
 
 // shard spreads keys over the cache shards with an FNV-style mix.
-func (k pairKey) shard() int {
+func (k cacheKey) shard() int {
 	h := uint64(2166136261)
-	for _, v := range [5]int{k.M, k.NC, k.D1, k.D2, k.B2} {
+	mix := func(v int) {
 		h ^= uint64(uint32(v))
 		h *= 16777619
+	}
+	mix(int(k.Kind))
+	mix(k.M)
+	mix(k.S)
+	mix(k.NC)
+	for _, v := range k.V {
+		mix(v)
 	}
 	return int(h % cacheShardCount)
 }
@@ -29,6 +84,8 @@ const cacheShardCount = 16
 // path; eviction is generational — a full shard is dropped wholesale
 // rather than tracking recency, which is cheap and, because cached
 // values are pure functions of the key, only ever costs a recompute.
+// Pair, triple and section entries share the shards and the size
+// budget.
 type bwCache struct {
 	perShard int
 	shards   [cacheShardCount]bwShard
@@ -36,7 +93,7 @@ type bwCache struct {
 
 type bwShard struct {
 	mu sync.Mutex
-	m  map[pairKey]rat.Rational
+	m  map[cacheKey]rat.Rational
 }
 
 // newBWCache builds a cache bounded at roughly size entries in total.
@@ -48,7 +105,7 @@ func newBWCache(size int) *bwCache {
 	return &bwCache{perShard: per}
 }
 
-func (c *bwCache) get(k pairKey) (rat.Rational, bool) {
+func (c *bwCache) get(k cacheKey) (rat.Rational, bool) {
 	s := &c.shards[k.shard()]
 	s.mu.Lock()
 	v, ok := s.m[k]
@@ -56,11 +113,11 @@ func (c *bwCache) get(k pairKey) (rat.Rational, bool) {
 	return v, ok
 }
 
-func (c *bwCache) put(k pairKey, v rat.Rational) {
+func (c *bwCache) put(k cacheKey, v rat.Rational) {
 	s := &c.shards[k.shard()]
 	s.mu.Lock()
 	if s.m == nil || len(s.m) >= c.perShard {
-		s.m = make(map[pairKey]rat.Rational, c.perShard)
+		s.m = make(map[cacheKey]rat.Rational, c.perShard)
 	}
 	s.m[k] = v
 	s.mu.Unlock()

@@ -70,8 +70,8 @@ func TestDifferentialGridWithinBounds(t *testing.T) {
 func TestCacheSemanticsPreserving(t *testing.T) {
 	eng := NewEngine(Options{Workers: 4})
 	var mu sync.Mutex
-	hitKeys := make(map[pairKey]bool)
-	eng.onHit = func(k pairKey) {
+	hitKeys := make(map[cacheKey]bool)
+	eng.onHit = func(k cacheKey) {
 		mu.Lock()
 		hitKeys[k] = true
 		mu.Unlock()
@@ -86,7 +86,10 @@ func TestCacheSemanticsPreserving(t *testing.T) {
 		if !ok {
 			t.Fatalf("hit key %+v evicted from an oversized cache", k)
 		}
-		cold := simulateOnce(k.M, k.NC, k.D1, k.B2, k.D2)
+		if k.Kind != kindPair {
+			t.Fatalf("pair grid produced a %v cache key: %+v", k.Kind, k)
+		}
+		cold := simulateOnce(k.M, k.NC, k.V[0], k.V[2], k.V[1])
 		if !got.Equal(cold) {
 			t.Fatalf("key %+v: cached %s != cold recomputation %s", k, got, cold)
 		}

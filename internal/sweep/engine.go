@@ -28,10 +28,12 @@ type Options struct {
 	// <= 0 selects GOMAXPROCS.
 	Workers int
 	// CacheSize bounds the cyclic-state memo cache in entries: 0 means
-	// DefaultCacheSize, negative disables caching. The cache applies to
-	// the sectionless pair sweep (Grid/SweepPair) only — the bank
-	// renumbering the key canonicalisation relies on does not commute
-	// with a section partition.
+	// DefaultCacheSize, negative disables caching. The cache covers all
+	// three sweep families — sectionless pairs, sectionless triples and
+	// section pairs — keyed by the canonical form of the configuration
+	// under the bank-renumbering isomorphism; section sweeps restrict
+	// the renumbering to the subgroup of units fixing the k = j mod s
+	// section map (see docs/CACHING.md for the derivation).
 	CacheSize int
 	// CollectStats attaches a stats.Collector to every worker's
 	// simulator and merges them after each sweep (see Stats). Off by
@@ -40,56 +42,100 @@ type Options struct {
 }
 
 // Metrics are the engine's cumulative counters. All values aggregate
-// over every sweep the engine has run.
+// over every sweep the engine has run; the per-kind cache counters
+// split the totals by configuration family.
 type Metrics struct {
-	CacheHits      int64 `json:"cache_hits"`      // starts answered from the memo cache
-	CacheMisses    int64 `json:"cache_misses"`    // starts that had to be simulated
-	CacheEntries   int   `json:"cache_entries"`   // entries currently cached
-	CyclesFound    int64 `json:"cycles_found"`    // cyclic steady states detected
-	StepsSimulated int64 `json:"steps_simulated"` // clock periods stepped across all simulations
-	PairsSwept     int64 `json:"pairs_swept"`     // pair (and triple) sweep units completed
+	CacheHits   int64 `json:"cache_hits"`   // starts answered from the memo cache (all kinds)
+	CacheMisses int64 `json:"cache_misses"` // starts that had to be simulated (all kinds)
+	// Per-family cache traffic: sectionless pairs, all-placements
+	// triples (and the fixed-placement census), and section pairs.
+	PairCacheHits      int64 `json:"pair_cache_hits"`
+	PairCacheMisses    int64 `json:"pair_cache_misses"`
+	TripleCacheHits    int64 `json:"triple_cache_hits"`
+	TripleCacheMisses  int64 `json:"triple_cache_misses"`
+	SectionCacheHits   int64 `json:"section_cache_hits"`
+	SectionCacheMisses int64 `json:"section_cache_misses"`
+	CacheEntries       int   `json:"cache_entries"`   // entries currently cached
+	CyclesFound        int64 `json:"cycles_found"`    // cyclic steady states detected
+	StepsSimulated     int64 `json:"steps_simulated"` // clock periods stepped across all simulations
+	PairsSwept         int64 `json:"pairs_swept"`     // sweep units (pairs/triples/section pairs) completed
 }
 
-// HitRate returns the cache hit fraction, 0 when the cache was unused.
-func (m Metrics) HitRate() float64 {
-	n := m.CacheHits + m.CacheMisses
+func hitRate(hits, misses int64) float64 {
+	n := hits + misses
 	if n == 0 {
 		return 0
 	}
-	return float64(m.CacheHits) / float64(n)
+	return float64(hits) / float64(n)
 }
 
-// Table renders the counters as an aligned text table.
+// HitRate returns the overall cache hit fraction, 0 when the cache was
+// unused.
+func (m Metrics) HitRate() float64 { return hitRate(m.CacheHits, m.CacheMisses) }
+
+// PairHitRate returns the cache hit fraction of the sectionless pair
+// sweeps.
+func (m Metrics) PairHitRate() float64 { return hitRate(m.PairCacheHits, m.PairCacheMisses) }
+
+// TripleHitRate returns the cache hit fraction of the triple sweeps.
+func (m Metrics) TripleHitRate() float64 { return hitRate(m.TripleCacheHits, m.TripleCacheMisses) }
+
+// SectionHitRate returns the cache hit fraction of the section sweeps.
+func (m Metrics) SectionHitRate() float64 { return hitRate(m.SectionCacheHits, m.SectionCacheMisses) }
+
+// Table renders the counters as an aligned text table. Per-kind cache
+// rows appear only for kinds that saw traffic.
 func (m Metrics) Table() string {
 	t := &textplot.Table{Header: []string{"engine counter", "value"}}
-	t.Add("pairs swept", m.PairsSwept)
+	t.Add("sweep units", m.PairsSwept)
 	t.Add("cycles found", m.CyclesFound)
 	t.Add("steps simulated", m.StepsSimulated)
 	t.Add("cache hits", m.CacheHits)
 	t.Add("cache misses", m.CacheMisses)
 	t.Add("cache entries", m.CacheEntries)
 	t.Add("cache hit rate", fmt.Sprintf("%.1f%%", m.HitRate()*100))
+	kinds := []struct {
+		name         string
+		hits, misses int64
+		rate         float64
+	}{
+		{"pair", m.PairCacheHits, m.PairCacheMisses, m.PairHitRate()},
+		{"triple", m.TripleCacheHits, m.TripleCacheMisses, m.TripleHitRate()},
+		{"section", m.SectionCacheHits, m.SectionCacheMisses, m.SectionHitRate()},
+	}
+	for _, k := range kinds {
+		if k.hits+k.misses == 0 {
+			continue
+		}
+		t.Add(k.name+" hit rate", fmt.Sprintf("%.1f%% (%d/%d)", k.rate*100, k.hits, k.hits+k.misses))
+	}
 	return t.String()
 }
 
 // Engine is the parallel sweep harness: a bounded worker pool over the
-// (m, n_c, d1, d2, start) grid with a sharded memoization cache of
-// cyclic steady states. Results are always returned in the sequential
-// sweep order, so output is byte-identical to Grid/SectionGrid/
-// SweepTriples regardless of worker count or cache state.
+// pair, triple and section-pair grids with a sharded memoization cache
+// of cyclic steady states. Results are always returned in the
+// sequential sweep order, so output is byte-identical to
+// Grid/SectionGrid/SweepTriples/TripleGrid regardless of worker count
+// or cache state.
 //
-// The cache key is the canonical representative of the start triple
-// (d1, d2, b2) under the Appendix isomorphism: renumbering the banks
-// j -> u·j mod m by any unit u maps the pair (0, d1), (b2, d2) onto
-// (0, u·d1), (u·b2, u·d2) while commuting with every conflict rule of
-// the simulator, so all triples of one orbit share a single simulated
-// steady state. An Engine is safe for concurrent use by multiple
+// The cache key is the canonical representative of the configuration
+// vector under the Appendix isomorphism: renumbering the banks
+// j -> u·j mod m by a unit u maps arithmetic streams onto arithmetic
+// streams while commuting with every conflict rule of the simulator,
+// so all placements of one orbit share a single simulated steady
+// state. Pairs canonicalise (d1, d2, b2) and triples
+// (d1, d2, d3, b2, b3) under the full unit group; section pairs
+// restrict to the subgroup of units congruent to 1 mod s, which fixes
+// the k = j mod s section of every bank (docs/CACHING.md derives all
+// four cases). An Engine is safe for concurrent use by multiple
 // goroutines, though each sweep call already saturates its own pool.
 type Engine struct {
 	opt   Options
 	cache *bwCache
 
-	hits, misses, cycles, steps, pairs atomic.Int64
+	hits, misses         [numKinds]atomic.Int64
+	cycles, steps, pairs atomic.Int64
 
 	// Observability counters (see Snapshot): wall time spent inside
 	// sweep calls, wall time inside steady-state detection, and the
@@ -101,7 +147,7 @@ type Engine struct {
 	workerTotals []WorkerStat
 
 	// onHit is a test hook observing cache hits (set before sweeping).
-	onHit func(pairKey)
+	onHit func(cacheKey)
 }
 
 // NewEngine builds an engine; the zero Options select GOMAXPROCS
@@ -124,12 +170,18 @@ func (e *Engine) Options() Options { return e.opt }
 // Metrics snapshots the engine's cumulative counters.
 func (e *Engine) Metrics() Metrics {
 	m := Metrics{
-		CacheHits:      e.hits.Load(),
-		CacheMisses:    e.misses.Load(),
-		CyclesFound:    e.cycles.Load(),
-		StepsSimulated: e.steps.Load(),
-		PairsSwept:     e.pairs.Load(),
+		PairCacheHits:      e.hits[kindPair].Load(),
+		PairCacheMisses:    e.misses[kindPair].Load(),
+		TripleCacheHits:    e.hits[kindTriple].Load(),
+		TripleCacheMisses:  e.misses[kindTriple].Load(),
+		SectionCacheHits:   e.hits[kindSection].Load(),
+		SectionCacheMisses: e.misses[kindSection].Load(),
+		CyclesFound:        e.cycles.Load(),
+		StepsSimulated:     e.steps.Load(),
+		PairsSwept:         e.pairs.Load(),
 	}
+	m.CacheHits = m.PairCacheHits + m.TripleCacheHits + m.SectionCacheHits
+	m.CacheMisses = m.PairCacheMisses + m.TripleCacheMisses + m.SectionCacheMisses
 	if e.cache != nil {
 		m.CacheEntries = e.cache.Len()
 	}
@@ -227,9 +279,9 @@ func (e *Engine) SweepPair(m, nc, d1, d2 int) PairResult {
 	return out
 }
 
-// SectionGrid is the parallel equivalent of SectionGrid. Placements
-// are simulated uncached (sections break the renumbering symmetry)
-// but workers still shard pairs and reuse their simulators.
+// SectionGrid is the parallel, cached equivalent of SectionGrid: same
+// pairs, same order, same values. Placements are canonicalised under
+// the section-respecting unit subgroup before the cache lookup.
 func (e *Engine) SectionGrid(m, s, nc int) []SectionPairResult {
 	pairs := gridPairs(m, nc)
 	out := make([]SectionPairResult, len(pairs))
@@ -240,14 +292,48 @@ func (e *Engine) SectionGrid(m, s, nc int) []SectionPairResult {
 	return out
 }
 
-// Triples is the parallel equivalent of SweepTriples.
+// SweepSectionPair sweeps one section pair through the engine,
+// returning exactly what SweepSectionPair returns.
+func (e *Engine) SweepSectionPair(m, s, nc, d1, d2 int) SectionPairResult {
+	var out SectionPairResult
+	e.run(1, func(w *worker, _ int) {
+		e.pairs.Add(1)
+		out = sweepSectionPairWith(m, s, nc, d1, d2, w.sectionBandwidth)
+	})
+	return out
+}
+
+// Triples is the parallel, cached equivalent of SweepTriples (the
+// fixed-placement census).
 func (e *Engine) Triples(m, nc int) []TripleResult {
 	triples := tripleList(m)
 	out := make([]TripleResult, len(triples))
 	e.run(len(triples), func(w *worker, i int) {
 		e.pairs.Add(1)
 		d := triples[i]
-		out[i] = tripleFrom(m, nc, d, w.tripleBandwidth(m, nc, d))
+		out[i] = tripleFrom(m, nc, d, w.tripleBandwidth(m, nc, d, 1, 2))
+	})
+	return out
+}
+
+// TripleGrid is the parallel, cached equivalent of TripleGrid: every
+// distance triple over all m^2 relative placements, byte-identical to
+// the sequential path.
+func (e *Engine) TripleGrid(m, nc int) []TripleSweepResult {
+	triples := tripleList(m)
+	out := make([]TripleSweepResult, len(triples))
+	e.run(len(triples), func(w *worker, i int) {
+		out[i] = w.sweepTriple(m, nc, triples[i])
+	})
+	return out
+}
+
+// SweepTriple sweeps one distance triple over all relative placements
+// through the engine, returning exactly what SweepTriple returns.
+func (e *Engine) SweepTriple(m, nc int, d [3]int) TripleSweepResult {
+	var out TripleSweepResult
+	e.run(1, func(w *worker, _ int) {
+		out = w.sweepTriple(m, nc, d)
 	})
 	return out
 }
@@ -256,7 +342,7 @@ func (e *Engine) Triples(m, nc int) []TripleResult {
 
 // worker is the per-goroutine state of one pool member: a reusable
 // simulator, its collector, and the memoised unit group of the current
-// modulus.
+// (modulus, sections) pair.
 type worker struct {
 	e   *Engine
 	id  int
@@ -269,8 +355,11 @@ type worker struct {
 	steps  int64
 	busyNS int64
 
-	units  []int
-	unitsM int
+	units          []int
+	unitsM, unitsS int
+
+	// vec is the canonicalisation scratch vector (see keyOf).
+	vec [5]int
 }
 
 // system returns the worker's simulator for cfg, reset and ready for
@@ -340,28 +429,103 @@ func (w *worker) sweepPair(m, nc, d1, d2 int) PairResult {
 	return sweepPairWith(m, nc, d1, d2, w.bandwidth)
 }
 
-// bandwidth resolves one relative start of a pair, through the cache
-// when enabled. On a miss the CANONICAL representative is simulated,
-// so the cached value is exactly what any triple of the orbit would
-// produce.
+func (w *worker) sweepTriple(m, nc int, d [3]int) TripleSweepResult {
+	w.e.pairs.Add(1)
+	return sweepTripleWith(m, nc, d, w.tripleBandwidth)
+}
+
+// unitGroup returns the memoised scaling group for an (m, s) memory:
+// all units of Z_m when s <= 1, the section-fixing subgroup otherwise.
+func (w *worker) unitGroup(m, s int) []int {
+	if w.unitsM != m || w.unitsS != s {
+		w.units = modmath.UnitsFixing(m, s)
+		w.unitsM, w.unitsS = m, s
+	}
+	return w.units
+}
+
+// keyOf canonicalises the first n elements of w.vec under the (m, s)
+// unit group and returns the completed cache key. The canonical
+// representative is the lexicographically smallest member of the
+// orbit, so isomorphic placements collide in the cache by
+// construction.
+func (w *worker) keyOf(kind sweepKind, m, s, nc, n int) cacheKey {
+	key := cacheKey{Kind: kind, M: m, S: s, NC: nc}
+	modmath.CanonicalizeInto(key.V[:n], w.vec[:n], m, w.unitGroup(m, s))
+	return key
+}
+
+// bandwidth resolves one relative start of a sectionless pair, through
+// the cache when enabled. On a miss the CANONICAL representative is
+// simulated, so the cached value is exactly what any placement of the
+// orbit would produce.
 func (w *worker) bandwidth(m, nc, d1, b2, d2 int) rat.Rational {
 	e := w.e
 	if e.cache == nil {
 		return w.simulatePair(m, nc, d1, b2, d2)
 	}
-	key := w.canonicalKey(m, nc, d1, d2, b2)
+	w.vec = [5]int{d1, d2, b2}
+	key := w.keyOf(kindPair, m, 0, nc, 3)
 	if bw, ok := e.cache.get(key); ok {
-		e.hits.Add(1)
-		if e.onHit != nil {
-			e.onHit(key)
-		}
+		e.hit(kindPair, key)
 		return bw
 	}
-	bw := w.simulatePair(key.M, key.NC, key.D1, key.B2, key.D2)
-	e.misses.Add(1)
+	bw := w.simulatePair(key.M, key.NC, key.V[0], key.V[2], key.V[1])
+	e.miss(kindPair)
 	e.cache.put(key, bw)
 	return bw
 }
+
+// sectionBandwidth resolves one placement of a section pair, through
+// the cache when enabled. Canonicalisation uses only the units
+// congruent to 1 mod s, so the renumbered system has every bank in its
+// original section and the cached steady state transfers exactly.
+func (w *worker) sectionBandwidth(m, s, nc, d1, b2, d2 int) rat.Rational {
+	e := w.e
+	if e.cache == nil {
+		return w.simulateSection(m, s, nc, d1, b2, d2)
+	}
+	w.vec = [5]int{d1, d2, b2}
+	key := w.keyOf(kindSection, m, s, nc, 3)
+	if bw, ok := e.cache.get(key); ok {
+		e.hit(kindSection, key)
+		return bw
+	}
+	bw := w.simulateSection(key.M, key.S, key.NC, key.V[0], key.V[2], key.V[1])
+	e.miss(kindSection)
+	e.cache.put(key, bw)
+	return bw
+}
+
+// tripleBandwidth resolves one placement (0, b2, b3) of a distance
+// triple, through the cache when enabled. The fixed-placement census
+// and the all-placements sweep share these entries: the census is the
+// (b2, b3) = (1, 2) slice of the same orbit space.
+func (w *worker) tripleBandwidth(m, nc int, d [3]int, b2, b3 int) rat.Rational {
+	e := w.e
+	if e.cache == nil {
+		return w.simulateTriple(m, nc, d, b2, b3)
+	}
+	w.vec = [5]int{d[0], d[1], d[2], b2, b3}
+	key := w.keyOf(kindTriple, m, 0, nc, 5)
+	if bw, ok := e.cache.get(key); ok {
+		e.hit(kindTriple, key)
+		return bw
+	}
+	bw := w.simulateTriple(key.M, key.NC, [3]int{key.V[0], key.V[1], key.V[2]}, key.V[3], key.V[4])
+	e.miss(kindTriple)
+	e.cache.put(key, bw)
+	return bw
+}
+
+func (e *Engine) hit(k sweepKind, key cacheKey) {
+	e.hits[k].Add(1)
+	if e.onHit != nil {
+		e.onHit(key)
+	}
+}
+
+func (e *Engine) miss(k sweepKind) { e.misses[k].Add(1) }
 
 func (w *worker) simulatePair(m, nc, d1, b2, d2 int) rat.Rational {
 	sys := w.system(memsys.Config{Banks: m, BankBusy: nc, CPUs: 2})
@@ -371,7 +535,7 @@ func (w *worker) simulatePair(m, nc, d1, b2, d2 int) rat.Rational {
 	return c.EffectiveBandwidth()
 }
 
-func (w *worker) sectionBandwidth(m, s, nc, d1, b2, d2 int) rat.Rational {
+func (w *worker) simulateSection(m, s, nc, d1, b2, d2 int) rat.Rational {
 	sys := w.system(memsys.Config{Banks: m, Sections: s, BankBusy: nc, CPUs: 1})
 	sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, int64(d1)))
 	sys.AddPort(0, "2", memsys.NewInfiniteStrided(int64(b2), int64(d2)))
@@ -379,30 +543,11 @@ func (w *worker) sectionBandwidth(m, s, nc, d1, b2, d2 int) rat.Rational {
 	return c.EffectiveBandwidth()
 }
 
-func (w *worker) tripleBandwidth(m, nc int, d [3]int) rat.Rational {
+func (w *worker) simulateTriple(m, nc int, d [3]int, b2, b3 int) rat.Rational {
 	sys := w.system(memsys.Config{Banks: m, BankBusy: nc, CPUs: 3})
 	sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, int64(d[0])))
-	sys.AddPort(1, "2", memsys.NewInfiniteStrided(1, int64(d[1])))
-	sys.AddPort(2, "3", memsys.NewInfiniteStrided(2, int64(d[2])))
-	c := w.findCycle(sys, fmt.Sprintf("triple (%d,%d,%d)", d[0], d[1], d[2]))
+	sys.AddPort(1, "2", memsys.NewInfiniteStrided(int64(b2), int64(d[1])))
+	sys.AddPort(2, "3", memsys.NewInfiniteStrided(int64(b3), int64(d[2])))
+	c := w.findCycle(sys, fmt.Sprintf("triple (%d,%d,%d) b2=%d b3=%d", d[0], d[1], d[2], b2, b3))
 	return c.EffectiveBandwidth()
-}
-
-// canonicalKey maps a start triple to the lexicographically smallest
-// member of its isomorphism orbit {(u·d1, u·d2, u·b2) mod m : u unit}.
-func (w *worker) canonicalKey(m, nc, d1, d2, b2 int) pairKey {
-	if w.unitsM != m {
-		w.units = modmath.Units(m)
-		w.unitsM = m
-	}
-	d1, d2, b2 = modmath.Mod(d1, m), modmath.Mod(d2, m), modmath.Mod(b2, m)
-	best := [3]int{d1, d2, b2}
-	for _, u := range w.units {
-		c := [3]int{modmath.Mod(u*d1, m), modmath.Mod(u*d2, m), modmath.Mod(u*b2, m)}
-		if c[0] < best[0] ||
-			(c[0] == best[0] && (c[1] < best[1] || (c[1] == best[1] && c[2] < best[2]))) {
-			best = c
-		}
-	}
-	return pairKey{M: m, NC: nc, D1: best[0], D2: best[1], B2: best[2]}
 }

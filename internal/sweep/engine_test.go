@@ -142,16 +142,57 @@ func TestEngineCollectStats(t *testing.T) {
 // (d1, d2, b2) by any unit of Z_m lands on the same representative.
 func TestCanonicalKeyOrbitInvariant(t *testing.T) {
 	w := &worker{e: NewEngine(Options{})}
+	pairKey := func(m, d1, d2, b2 int) cacheKey {
+		w.vec = [5]int{d1, d2, b2}
+		return w.keyOf(kindPair, m, 0, 4, 3)
+	}
 	for _, m := range []int{5, 12, 16} {
 		units := modmath.Units(m)
 		for d1 := 0; d1 < m; d1++ {
 			for d2 := 0; d2 < m; d2 += 3 {
 				for b2 := 0; b2 < m; b2 += 5 {
-					want := w.canonicalKey(m, 4, d1, d2, b2)
+					want := pairKey(m, d1, d2, b2)
 					for _, u := range units {
-						got := w.canonicalKey(m, 4, u*d1, u*d2, u*b2)
+						got := pairKey(m, u*d1, u*d2, u*b2)
 						if got != want {
 							t.Fatalf("m=%d (%d,%d,%d) scaled by %d: key %+v != %+v", m, d1, d2, b2, u, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Triple keys are constant on orbits of the 5-vector (d1, d2, d3, b2,
+// b3); section keys only under the section-fixing subgroup.
+func TestCanonicalKeyOrbitInvariantTripleAndSection(t *testing.T) {
+	w := &worker{e: NewEngine(Options{})}
+	tripleKey := func(m, d1, d2, d3, b2, b3 int) cacheKey {
+		w.vec = [5]int{d1, d2, d3, b2, b3}
+		return w.keyOf(kindTriple, m, 0, 2, 5)
+	}
+	sectionKey := func(m, s, d1, d2, b2 int) cacheKey {
+		w.vec = [5]int{d1, d2, b2}
+		return w.keyOf(kindSection, m, s, 2, 3)
+	}
+	for _, m := range []int{8, 12} {
+		for d1 := 0; d1 < m; d1 += 2 {
+			for d2 := 1; d2 < m; d2 += 3 {
+				for b2 := 0; b2 < m; b2 += 3 {
+					want := tripleKey(m, d1, d2, 3, b2, 5)
+					for _, u := range modmath.Units(m) {
+						if got := tripleKey(m, u*d1, u*d2, u*3, u*b2, u*5); got != want {
+							t.Fatalf("m=%d triple (%d,%d,3;%d,5) scaled by %d: %+v != %+v",
+								m, d1, d2, b2, u, got, want)
+						}
+					}
+					s := 4
+					wantS := sectionKey(m, s, d1, d2, b2)
+					for _, u := range modmath.UnitsFixing(m, s) {
+						if got := sectionKey(m, s, u*d1, u*d2, u*b2); got != wantS {
+							t.Fatalf("m=%d s=%d (%d,%d,%d) scaled by %d: %+v != %+v",
+								m, s, d1, d2, b2, u, got, wantS)
 						}
 					}
 				}

@@ -105,91 +105,4 @@ func SectionTable(results []SectionPairResult) string {
 	return t.String()
 }
 
-// --- Three concurrent streams ------------------------------------------
-
-// TripleResult records one three-stream measurement against the
-// capacity bounds of core.MultiStreamBound.
-type TripleResult struct {
-	M, NC      int
-	D          [3]int
-	Bandwidth  rat.Rational
-	Bound      rat.Rational
-	BoundTight bool
-}
-
-// tripleList enumerates the unordered distance triples in sweep order.
-func tripleList(m int) [][3]int {
-	var out [][3]int
-	for d1 := 0; d1 < m; d1++ {
-		for d2 := d1; d2 < m; d2++ {
-			for d3 := d2; d3 < m; d3++ {
-				out = append(out, [3]int{d1, d2, d3})
-			}
-		}
-	}
-	return out
-}
-
-// tripleSimulateOnce is the cold path: a fresh 3-CPU system per triple.
-func tripleSimulateOnce(m, nc int, d [3]int) rat.Rational {
-	sys := memsys.New(memsys.Config{Banks: m, BankBusy: nc, CPUs: 3})
-	sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, int64(d[0])))
-	sys.AddPort(1, "2", memsys.NewInfiniteStrided(1, int64(d[1])))
-	sys.AddPort(2, "3", memsys.NewInfiniteStrided(2, int64(d[2])))
-	c, err := sys.FindCycle(findCycleBudget)
-	if err != nil {
-		panic(fmt.Sprintf("sweep: triple (%d,%d,%d): %v", d[0], d[1], d[2], err))
-	}
-	return c.EffectiveBandwidth()
-}
-
-// tripleFrom packages one measured triple against its capacity bound.
-func tripleFrom(m, nc int, d [3]int, bw rat.Rational) TripleResult {
-	bound := core.MultiStreamBound(m, 0, nc, []core.StreamSet{
-		{Stream: stream.Infinite(m, 0, d[0]), CPU: 0},
-		{Stream: stream.Infinite(m, 1, d[1]), CPU: 1},
-		{Stream: stream.Infinite(m, 2, d[2]), CPU: 2},
-	})
-	return TripleResult{
-		M: m, NC: nc, D: d,
-		Bandwidth: bw, Bound: bound,
-		BoundTight: bw.Equal(bound),
-	}
-}
-
-// SweepTriples measures every unordered distance triple of an (m, n_c)
-// memory (three CPUs, starts 0/1/2) against the aggregate capacity
-// bound, reporting how often the bound is attained. The paper analyses
-// one and two streams; this quantifies how far its pairwise reasoning
-// carries for three. Sequential reference path; Engine.Triples is the
-// parallel equivalent.
-func SweepTriples(m, nc int) []TripleResult {
-	triples := tripleList(m)
-	out := make([]TripleResult, len(triples))
-	for i, d := range triples {
-		out[i] = tripleFrom(m, nc, d, tripleSimulateOnce(m, nc, d))
-	}
-	return out
-}
-
-// TripleSummary aggregates a triple sweep.
-type TripleSummary struct {
-	Triples    int
-	Tight      int
-	Violations int // bound exceeded — must be zero
-}
-
-// SummariseTriples reduces a triple sweep.
-func SummariseTriples(results []TripleResult) TripleSummary {
-	var s TripleSummary
-	s.Triples = len(results)
-	for _, r := range results {
-		if r.BoundTight {
-			s.Tight++
-		}
-		if r.Bandwidth.Cmp(r.Bound) > 0 {
-			s.Violations++
-		}
-	}
-	return s
-}
+// Three-stream sweeps live in triples.go.

@@ -1,8 +1,12 @@
 package sweep
 
 import (
+	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
+
+	"ivm/internal/modmath"
 )
 
 func TestSectionGridAgrees(t *testing.T) {
@@ -45,6 +49,105 @@ func TestSectionGridContainsFig7(t *testing.T) {
 	if r.SimFreeStarts == 0 {
 		t.Fatal("no simulated free start for Fig. 7's pair")
 	}
+}
+
+// Engine.SectionGrid must stay byte-identical to SectionGrid for any
+// worker count and cache configuration — the section cache only ever
+// collapses placements that are provably isomorphic under the
+// section-fixing unit subgroup.
+func TestEngineSectionGridByteIdenticalToSequential(t *testing.T) {
+	for _, g := range []struct{ m, s, nc int }{{12, 3, 3}, {8, 2, 2}} {
+		seq := SectionGrid(g.m, g.s, g.nc)
+		seqTable := SectionTable(seq)
+		for _, opt := range []Options{
+			{Workers: 1, CacheSize: -1},
+			{Workers: 4},
+			{Workers: 4, CacheSize: 64},
+		} {
+			eng := NewEngine(opt)
+			par := eng.SectionGrid(g.m, g.s, g.nc)
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("m=%d s=%d nc=%d opts %+v: parallel section grid differs", g.m, g.s, g.nc, opt)
+			}
+			if got := SectionTable(par); got != seqTable {
+				t.Fatalf("m=%d s=%d nc=%d opts %+v: rendered section table differs", g.m, g.s, g.nc, opt)
+			}
+		}
+	}
+}
+
+// The section cache must actually collapse orbits where the subgroup
+// is nontrivial, and must account its traffic in the section counters
+// only.
+func TestEngineSectionGridCacheAccounting(t *testing.T) {
+	// UnitsFixing(16, 4) = {1, 5, 9, 13}: plenty of nontrivial orbits.
+	eng := NewEngine(Options{Workers: 2})
+	eng.SectionGrid(16, 4, 4)
+	m := eng.Metrics()
+	if m.SectionCacheHits == 0 {
+		t.Fatal("sectioned 16-bank grid never hit the cache")
+	}
+	if m.SectionCacheMisses != m.CyclesFound {
+		t.Fatalf("section misses %d != cycles found %d", m.SectionCacheMisses, m.CyclesFound)
+	}
+	if m.PairCacheHits+m.PairCacheMisses+m.TripleCacheHits+m.TripleCacheMisses != 0 {
+		t.Fatalf("section sweep leaked into other kind counters: %+v", m)
+	}
+	if hr := m.SectionHitRate(); hr <= 0 || hr >= 1 {
+		t.Fatalf("section hit rate %v out of (0,1)", hr)
+	}
+	snap := eng.Snapshot()
+	if snap.SectionCacheHitRate != m.SectionHitRate() || snap.PairCacheHitRate != 0 {
+		t.Fatalf("snapshot per-kind rates inconsistent: %+v", snap)
+	}
+}
+
+// Random sectioned pairs: cached engine vs cold sequential sweep,
+// across random (m, s, n_c, d1, d2) — the property that cached equals
+// uncached everywhere, not just on the curated grids.
+func TestDifferentialRandomSections(t *testing.T) {
+	rng := rand.New(rand.NewSource(19850804))
+	eng := NewEngine(Options{Workers: 4})
+	for trial := 0; trial < 30; trial++ {
+		m := 2 + rng.Intn(15) // 2..16
+		divs := modmath.Divisors(m)
+		s := divs[rng.Intn(len(divs))]
+		nc := 1 + rng.Intn(4)
+		d1, d2 := rng.Intn(m), rng.Intn(m)
+		seq := SweepSectionPair(m, s, nc, d1, d2)
+		par := eng.SweepSectionPair(m, s, nc, d1, d2)
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("trial %d m=%d s=%d nc=%d (%d,%d): engine %+v != sequential %+v",
+				trial, m, s, nc, d1, d2, par, seq)
+		}
+	}
+}
+
+// FuzzSweepSectionPair differentially tests one sectioned pair per
+// input: the cached parallel engine against the cold sequential sweep.
+func FuzzSweepSectionPair(f *testing.F) {
+	seeds := [][5]uint8{
+		{11, 1, 2, 1, 1}, // m=12 s=2 nc=3 (1,1): Fig. 7's pair
+		{15, 3, 3, 1, 5}, // m=16 s=4 nc=4 (1,5): X-MP shape, unit orbit
+		{7, 0, 1, 2, 6},  // m=8 s=1 nc=2 (2,6): sectionless degenerate
+		{11, 2, 0, 3, 9}, // m=12 s=3 nc=1 (3,9): strides inside one section
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1], s[2], s[3], s[4])
+	}
+	f.Fuzz(func(t *testing.T, mRaw, sRaw, ncRaw, d1Raw, d2Raw uint8) {
+		m := 1 + int(mRaw%16)
+		divs := modmath.Divisors(m)
+		s := divs[int(sRaw)%len(divs)]
+		nc := 1 + int(ncRaw%4)
+		d1, d2 := int(d1Raw)%m, int(d2Raw)%m
+		seq := SweepSectionPair(m, s, nc, d1, d2)
+		eng := NewEngine(Options{Workers: 2, CacheSize: 256})
+		par := eng.SweepSectionPair(m, s, nc, d1, d2)
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("m=%d s=%d nc=%d (%d,%d): engine %+v != sequential %+v", m, s, nc, d1, d2, par, seq)
+		}
+	})
 }
 
 func TestTripleSweepBoundsHold(t *testing.T) {

@@ -23,6 +23,11 @@ type Snapshot struct {
 	Workers      int     `json:"workers"` // configured pool size
 	Metrics      Metrics `json:"metrics"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Per-family hit rates, splitting CacheHitRate by configuration
+	// kind (zero when that family saw no traffic).
+	PairCacheHitRate    float64 `json:"pair_cache_hit_rate"`
+	TripleCacheHitRate  float64 `json:"triple_cache_hit_rate"`
+	SectionCacheHitRate float64 `json:"section_cache_hit_rate"`
 	// WallNS is wall time spent inside sweep calls; CycleDetectNS the
 	// part spent in steady-state detection (summed across workers, so
 	// it can exceed WallNS on a multi-core sweep).
@@ -42,11 +47,14 @@ type Snapshot struct {
 func (e *Engine) Snapshot() Snapshot {
 	m := e.Metrics()
 	s := Snapshot{
-		Workers:       e.workers(),
-		Metrics:       m,
-		CacheHitRate:  m.HitRate(),
-		WallNS:        e.wallNS.Load(),
-		CycleDetectNS: e.cycleNS.Load(),
+		Workers:             e.workers(),
+		Metrics:             m,
+		CacheHitRate:        m.HitRate(),
+		PairCacheHitRate:    m.PairHitRate(),
+		TripleCacheHitRate:  m.TripleHitRate(),
+		SectionCacheHitRate: m.SectionHitRate(),
+		WallNS:              e.wallNS.Load(),
+		CycleDetectNS:       e.cycleNS.Load(),
 	}
 	if m.CyclesFound > 0 {
 		s.MeanCycleClocks = float64(m.StepsSimulated) / float64(m.CyclesFound)

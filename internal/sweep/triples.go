@@ -1,0 +1,250 @@
+package sweep
+
+import (
+	"fmt"
+
+	"ivm/internal/core"
+	"ivm/internal/memsys"
+	"ivm/internal/rat"
+	"ivm/internal/stream"
+	"ivm/internal/textplot"
+)
+
+// Three-stream sweeps. The paper analyses one and two streams; these
+// sweeps quantify how far its pairwise reasoning carries for three by
+// measuring every distance triple against the aggregate capacity
+// bounds of core.MultiStreamBound. Two granularities exist:
+//
+//   - the census (SweepTriples / Engine.Triples): one fixed placement
+//     (starts 0, 1, 2) per triple — cheap, the historical Fig. 8–10
+//     regime scan;
+//   - the start sweep (SweepTriple / TripleGrid / Engine.TripleGrid):
+//     all m^2 relative placements (b1 = 0, b2, b3 in [0, m)) per
+//     triple, the exact three-stream analogue of the pair sweep's
+//     all-starts loop. This is the path the isomorphism-canonical
+//     cache accelerates: (d1, d2, d3, b2, b3) is canonicalised under
+//     the unit group of Z_m, so only one placement per orbit is ever
+//     simulated (docs/CACHING.md).
+
+// TripleResult records one fixed-placement three-stream measurement
+// (starts 0, 1, 2) against the capacity bound of core.MultiStreamBound.
+type TripleResult struct {
+	M, NC      int
+	D          [3]int
+	Bandwidth  rat.Rational
+	Bound      rat.Rational
+	BoundTight bool
+}
+
+// tripleBWFunc computes the cyclic-state bandwidth of one placement
+// (0, b2, b3) of a distance triple; the sequential path simulates
+// cold, the engine's workers go through the memo cache.
+type tripleBWFunc func(m, nc int, d [3]int, b2, b3 int) rat.Rational
+
+// tripleList enumerates the unordered distance triples in sweep order.
+func tripleList(m int) [][3]int {
+	var out [][3]int
+	for d1 := 0; d1 < m; d1++ {
+		for d2 := d1; d2 < m; d2++ {
+			for d3 := d2; d3 < m; d3++ {
+				out = append(out, [3]int{d1, d2, d3})
+			}
+		}
+	}
+	return out
+}
+
+// tripleSimulateOnce is the cold path: a fresh 3-CPU system per
+// placement.
+func tripleSimulateOnce(m, nc int, d [3]int, b2, b3 int) rat.Rational {
+	sys := memsys.New(memsys.Config{Banks: m, BankBusy: nc, CPUs: 3})
+	sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, int64(d[0])))
+	sys.AddPort(1, "2", memsys.NewInfiniteStrided(int64(b2), int64(d[1])))
+	sys.AddPort(2, "3", memsys.NewInfiniteStrided(int64(b3), int64(d[2])))
+	c, err := sys.FindCycle(findCycleBudget)
+	if err != nil {
+		panic(fmt.Sprintf("sweep: triple (%d,%d,%d) b2=%d b3=%d: %v", d[0], d[1], d[2], b2, b3, err))
+	}
+	return c.EffectiveBandwidth()
+}
+
+// tripleBound is the aggregate capacity bound of one placement; it
+// depends on the starts because the union of access sets does.
+func tripleBound(m, nc int, d [3]int, b2, b3 int) rat.Rational {
+	return core.MultiStreamBound(m, 0, nc, []core.StreamSet{
+		{Stream: stream.Infinite(m, 0, d[0]), CPU: 0},
+		{Stream: stream.Infinite(m, b2, d[1]), CPU: 1},
+		{Stream: stream.Infinite(m, b3, d[2]), CPU: 2},
+	})
+}
+
+// tripleFrom packages one measured fixed-placement triple against its
+// capacity bound.
+func tripleFrom(m, nc int, d [3]int, bw rat.Rational) TripleResult {
+	bound := tripleBound(m, nc, d, 1, 2)
+	return TripleResult{
+		M: m, NC: nc, D: d,
+		Bandwidth: bw, Bound: bound,
+		BoundTight: bw.Equal(bound),
+	}
+}
+
+// SweepTriples measures every unordered distance triple of an (m, n_c)
+// memory at the fixed placement (starts 0, 1, 2) against the aggregate
+// capacity bound, reporting how often the bound is attained. Sequential
+// reference path; Engine.Triples is the parallel equivalent. For the
+// all-placements sweep see TripleGrid.
+func SweepTriples(m, nc int) []TripleResult {
+	triples := tripleList(m)
+	out := make([]TripleResult, len(triples))
+	for i, d := range triples {
+		out[i] = tripleFrom(m, nc, d, tripleSimulateOnce(m, nc, d, 1, 2))
+	}
+	return out
+}
+
+// TripleSummary aggregates a fixed-placement triple census.
+type TripleSummary struct {
+	Triples    int
+	Tight      int
+	Violations int // bound exceeded — must be zero
+}
+
+// SummariseTriples reduces a fixed-placement triple census.
+func SummariseTriples(results []TripleResult) TripleSummary {
+	var s TripleSummary
+	s.Triples = len(results)
+	for _, r := range results {
+		if r.BoundTight {
+			s.Tight++
+		}
+		if r.Bandwidth.Cmp(r.Bound) > 0 {
+			s.Violations++
+		}
+	}
+	return s
+}
+
+// --- All relative placements -------------------------------------------
+
+// TripleSweepResult compares the per-placement capacity bounds of one
+// distance triple with the simulated cyclic states over all m^2
+// relative placements (b1 = 0; b2, b3 sweep [0, m)) — the three-stream
+// analogue of PairResult.
+type TripleSweepResult struct {
+	M, NC int
+	D     [3]int
+	// SimMin/SimMax are the extreme cyclic-state bandwidths over the
+	// swept placements.
+	SimMin, SimMax rat.Rational
+	// BoundMin/BoundMax are the extreme per-placement capacity bounds;
+	// they differ when the streams' access-set union depends on the
+	// starts (degenerate distances).
+	BoundMin, BoundMax rat.Rational
+	// Starts is how many placements were simulated (m^2).
+	Starts int
+	// TightStarts counts placements whose simulated bandwidth attains
+	// their capacity bound exactly.
+	TightStarts int
+	// Violations counts placements whose simulated bandwidth exceeds
+	// their capacity bound — always zero unless the simulator or the
+	// bound is wrong.
+	Violations int
+}
+
+// SweepTriple sweeps all m^2 relative placements of one distance
+// triple and compares each cyclic state against its capacity bound.
+// Sequential reference path; Engine.SweepTriple is the parallel,
+// cached equivalent and returns byte-identical results.
+func SweepTriple(m, nc int, d [3]int) TripleSweepResult {
+	return sweepTripleWith(m, nc, d, tripleSimulateOnce)
+}
+
+func sweepTripleWith(m, nc int, d [3]int, bw tripleBWFunc) TripleSweepResult {
+	res := TripleSweepResult{M: m, NC: nc, D: d}
+	first := true
+	for b2 := 0; b2 < m; b2++ {
+		for b3 := 0; b3 < m; b3++ {
+			v := bw(m, nc, d, b2, b3)
+			bound := tripleBound(m, nc, d, b2, b3)
+			if first || v.Cmp(res.SimMin) < 0 {
+				res.SimMin = v
+			}
+			if first || v.Cmp(res.SimMax) > 0 {
+				res.SimMax = v
+			}
+			if first || bound.Cmp(res.BoundMin) < 0 {
+				res.BoundMin = bound
+			}
+			if first || bound.Cmp(res.BoundMax) > 0 {
+				res.BoundMax = bound
+			}
+			first = false
+			res.Starts++
+			switch v.Cmp(bound) {
+			case 0:
+				res.TightStarts++
+			case 1:
+				res.Violations++
+			}
+		}
+	}
+	return res
+}
+
+// TripleGrid sweeps every unordered distance triple of an (m, n_c)
+// memory over all relative placements. Sequential reference path;
+// Engine.TripleGrid produces byte-identical results in parallel, with
+// the cyclic-state cache collapsing isomorphic placements.
+func TripleGrid(m, nc int) []TripleSweepResult {
+	triples := tripleList(m)
+	out := make([]TripleSweepResult, len(triples))
+	for i, d := range triples {
+		out[i] = SweepTriple(m, nc, d)
+	}
+	return out
+}
+
+// TripleGridSummary aggregates an all-placements triple sweep.
+type TripleGridSummary struct {
+	M, NC   int
+	Triples int
+	Starts  int // placements simulated across all triples
+	// TightSomewhere counts triples attaining their capacity bound from
+	// at least one placement; TightStarts counts the attaining
+	// placements themselves.
+	TightSomewhere int
+	TightStarts    int
+	// Violations counts placements whose simulated bandwidth exceeded
+	// the capacity bound — must be zero.
+	Violations int
+}
+
+// SummariseTripleGrid reduces an all-placements triple sweep.
+func SummariseTripleGrid(m, nc int, results []TripleSweepResult) TripleGridSummary {
+	s := TripleGridSummary{M: m, NC: nc, Triples: len(results)}
+	for _, r := range results {
+		s.Starts += r.Starts
+		s.TightStarts += r.TightStarts
+		s.Violations += r.Violations
+		if r.TightStarts > 0 {
+			s.TightSomewhere++
+		}
+	}
+	return s
+}
+
+// TripleGridTable renders an all-placements triple sweep as an aligned
+// text table.
+func TripleGridTable(results []TripleSweepResult) string {
+	t := &textplot.Table{Header: []string{"d1", "d2", "d3", "bound", "sim min", "sim max", "tight"}}
+	for _, r := range results {
+		bound := r.BoundMax.String()
+		if !r.BoundMin.Equal(r.BoundMax) {
+			bound = r.BoundMin.String() + ".." + r.BoundMax.String()
+		}
+		t.Add(r.D[0], r.D[1], r.D[2], bound, r.SimMin.String(), r.SimMax.String(),
+			fmt.Sprintf("%d/%d", r.TightStarts, r.Starts))
+	}
+	return t.String()
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Sweep-engine benchmark harness: runs the sequential/parallel sweep
-# benchmarks with allocation stats and distils the result into a
-# machine-readable BENCH_sweep.json next to the repo root.
+# benchmarks (pair, triple and section grids) with allocation stats and
+# distils the result into a machine-readable BENCH_sweep.json next to
+# the repo root.
 #
 # Usage: scripts/bench.sh [count]
 #   count  -benchtime iteration override, e.g. "10x" (default: 1s timed)
@@ -13,12 +14,14 @@ out="BENCH_sweep.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkSweep(Sequential|Parallel)$' \
+go test -run '^$' -bench 'BenchmarkSweep(Sequential|Parallel|TriplesSequential|TriplesParallel|SectionsSequential|SectionsParallel)$' \
 	-benchmem -benchtime "$benchtime" . | tee "$raw"
 
 # Benchmark lines look like:
-#   BenchmarkSweepSequential-8  3  401ms/op  12 B/op  1 allocs/op  930 pairs
-#   BenchmarkSweepParallel-8    9  120ms/op  98.2 cache_hit_%  3.3 speedup_vs_seq ...
+#   BenchmarkSweepSequential-8         3  401ms/op  12 B/op  1 allocs/op  930 pairs
+#   BenchmarkSweepParallel-8           9  120ms/op  98.2 cache_hit_%  3.3 speedup_vs_seq ...
+#   BenchmarkSweepTriplesParallel-8    2  900ms/op  69.5 triple_cache_hit_%  2.1 speedup_vs_seq ...
+#   BenchmarkSweepSectionsParallel-8   5  150ms/op  44.0 section_cache_hit_%  1.8 speedup_vs_seq ...
 awk -v benchtime="$benchtime" '
 function metric(name,   i) {
 	for (i = 3; i < NF; i++) {
@@ -33,14 +36,44 @@ function metric(name,   i) {
 	par_ns = metric("ns/op"); par_allocs = metric("allocs/op")
 	hit = metric("cache_hit_%"); speedup = metric("speedup_vs_seq")
 }
+/^BenchmarkSweepTriplesSequential/ {
+	t_seq_ns = metric("ns/op"); t_placements = metric("placements")
+}
+/^BenchmarkSweepTriplesParallel/ {
+	t_par_ns = metric("ns/op")
+	t_hit = metric("triple_cache_hit_%"); t_speedup = metric("speedup_vs_seq")
+}
+/^BenchmarkSweepSectionsSequential/ {
+	s_seq_ns = metric("ns/op"); s_pairs = metric("pairs")
+}
+/^BenchmarkSweepSectionsParallel/ {
+	s_par_ns = metric("ns/op")
+	s_hit = metric("section_cache_hit_%"); s_speedup = metric("speedup_vs_seq")
+}
 END {
-	if (seq_ns == "" || par_ns == "") {
+	if (seq_ns == "" || par_ns == "" || t_par_ns == "" || s_par_ns == "") {
 		print "bench.sh: missing benchmark output" > "/dev/stderr"; exit 1
 	}
 	printf "{\n"
 	printf "  \"benchtime\": \"%s\",\n", benchtime
-	printf "  \"sequential\": {\"ns_per_op\": %s, \"allocs_per_op\": %s, \"pairs\": %s},\n", seq_ns, seq_allocs, seq_pairs
-	printf "  \"parallel\": {\"ns_per_op\": %s, \"allocs_per_op\": %s},\n", par_ns, par_allocs
+	printf "  \"pairs\": {\n"
+	printf "    \"sequential\": {\"ns_per_op\": %s, \"allocs_per_op\": %s, \"pairs\": %s},\n", seq_ns, seq_allocs, seq_pairs
+	printf "    \"parallel\": {\"ns_per_op\": %s, \"allocs_per_op\": %s},\n", par_ns, par_allocs
+	printf "    \"cache_hit_rate_percent\": %s,\n", hit
+	printf "    \"speedup_vs_sequential\": %s\n", speedup
+	printf "  },\n"
+	printf "  \"triples\": {\n"
+	printf "    \"sequential\": {\"ns_per_op\": %s, \"placements\": %s},\n", t_seq_ns, t_placements
+	printf "    \"parallel\": {\"ns_per_op\": %s},\n", t_par_ns
+	printf "    \"cache_hit_rate_percent\": %s,\n", t_hit
+	printf "    \"speedup_vs_sequential\": %s\n", t_speedup
+	printf "  },\n"
+	printf "  \"sections\": {\n"
+	printf "    \"sequential\": {\"ns_per_op\": %s, \"pairs\": %s},\n", s_seq_ns, s_pairs
+	printf "    \"parallel\": {\"ns_per_op\": %s},\n", s_par_ns
+	printf "    \"cache_hit_rate_percent\": %s,\n", s_hit
+	printf "    \"speedup_vs_sequential\": %s\n", s_speedup
+	printf "  },\n"
 	printf "  \"cache_hit_rate_percent\": %s,\n", hit
 	printf "  \"speedup_vs_sequential\": %s\n", speedup
 	printf "}\n"

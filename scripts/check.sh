@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full verification gauntlet: formatting, vet, and race-enabled tests.
+# Full verification gauntlet: formatting, vet, documentation, and
+# race-enabled tests.
 # Pass package patterns to narrow the test run (default: everything).
 # The observability package is always exercised under the race
 # detector, even for narrowed runs, because its tracer counters are
@@ -26,5 +27,11 @@ if [ "$#" -eq 0 ]; then
 fi
 
 go vet "$@"
+
+# docs step: every exported identifier in the audited packages must
+# carry a doc comment, and every relative Markdown link must resolve.
+go run ./internal/tools/docscheck \
+	internal/sweep internal/modmath internal/obs internal/obs/profile
+
 go test -race "$@"
 go test -race ./internal/obs/...
