@@ -263,6 +263,56 @@ func PairBandwidthBounds(m, nc, d1, d2 int) (lo, hi Rational) {
 	return core.PairBandwidthBounds(m, nc, d1, d2)
 }
 
+// --- Generic N-stream sweeps ---------------------------------------------
+
+// SweepStream is one access stream of a SweepConfigSpec: distance,
+// starting bank, issuing CPU, and whether the sweep enumerates its
+// start over all m banks (Sweep) or keeps it fixed at B.
+type SweepStream = sweep.Stream
+
+// SweepConfigSpec describes one sweepable memory configuration — m
+// banks, s sections (0 for sectionless), bank busy time nc, and any
+// number of streams. The pair, triple and section sweeps are all
+// special cases; Family() names the cache family a spec compiles into.
+type SweepConfigSpec = sweep.ConfigSpec
+
+// SweepSpecResult is the simulated range and capacity-bound comparison
+// of one spec over the enumerated placements of its swept streams.
+type SweepSpecResult = sweep.SpecResult
+
+// NewPairSpec is the pair sweep as a spec: stream 1 fixed at bank 0,
+// stream 2 swept, one stream per CPU.
+func NewPairSpec(m, nc, d1, d2 int) SweepConfigSpec { return sweep.PairSpec(m, nc, d1, d2) }
+
+// NewSectionPairSpec is the section-theorem pair sweep as a spec: both
+// streams on one CPU of an (m, s, nc) sectioned memory.
+func NewSectionPairSpec(m, s, nc, d1, d2 int) SweepConfigSpec {
+	return sweep.SectionPairSpec(m, s, nc, d1, d2)
+}
+
+// NewTripleSpec is the all-placements triple sweep as a spec: stream 1
+// fixed at bank 0, streams 2 and 3 swept, one stream per CPU.
+func NewTripleSpec(m, nc int, d [3]int) SweepConfigSpec { return sweep.TripleSpec(m, nc, d) }
+
+// NewNStreamSpec generalises the pair and triple sweeps to p streams,
+// one per CPU: stream 1 fixed at bank 0, the rest swept.
+func NewNStreamSpec(m, nc int, d []int) SweepConfigSpec { return sweep.NStreamSpec(m, nc, d) }
+
+// SweepSpec sweeps one spec sequentially over all placements of its
+// swept streams; NewSweepEngine(...).SweepSpec is the parallel, cached
+// equivalent.
+func SweepSpec(spec SweepConfigSpec) SweepSpecResult { return sweep.SweepSpec(spec) }
+
+// SweepNStreamGrid sweeps every nondecreasing n-tuple of allowed
+// distances of an (m, nc) memory over all placements sequentially;
+// NewSweepEngine(...).NStreamGrid is the parallel, cached equivalent.
+func SweepNStreamGrid(m, nc, n int) []SweepSpecResult { return sweep.NStreamGrid(m, nc, n) }
+
+// SummariseSweepSpecGrid aggregates an N-stream grid sweep.
+func SummariseSweepSpecGrid(results []SweepSpecResult) SweepTripleGridSummary {
+	return sweep.SummariseSpecGrid(results)
+}
+
 // --- Observability ------------------------------------------------------
 
 // TraceEvent is one recorded per-clock simulator outcome (grant or

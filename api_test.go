@@ -124,6 +124,31 @@ func TestFacadeSweepEngine(t *testing.T) {
 	}
 }
 
+func TestFacadeSpecSweep(t *testing.T) {
+	spec := ivm.NewPairSpec(8, 2, 1, 2)
+	if fam := spec.Family(); fam != "pair" {
+		t.Fatalf("pair spec compiles into family %q", fam)
+	}
+	seq := ivm.SweepSpec(spec)
+	eng := ivm.NewSweepEngine(ivm.SweepOptions{Workers: 2})
+	par := eng.SweepSpec(spec)
+	if !par.SimMin.Equal(seq.SimMin) || !par.SimMax.Equal(seq.SimMax) || par.Starts != seq.Starts {
+		t.Fatalf("engine spec sweep %+v != sequential %+v", par, seq)
+	}
+	four := ivm.NewNStreamSpec(4, 1, []int{1, 1, 2, 3})
+	if fam := four.Family(); fam != "stream4" {
+		t.Fatalf("four-stream spec compiles into family %q", fam)
+	}
+	r := eng.SweepSpec(four)
+	if r.Starts != 64 || r.Violations != 0 {
+		t.Fatalf("four-stream sweep %+v", r)
+	}
+	grid := ivm.SweepNStreamGrid(4, 1, 3)
+	if s := ivm.SummariseSweepSpecGrid(grid); s.Violations != 0 || s.Starts == 0 {
+		t.Fatalf("three-stream grid summary %+v", s)
+	}
+}
+
 func TestFacadeTriad(t *testing.T) {
 	cfg := ivm.DefaultMachine()
 	if cfg.VectorLength != 64 {

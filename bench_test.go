@@ -234,7 +234,8 @@ func BenchmarkSweepTriplesParallel(b *testing.B) {
 }
 
 // The EXPERIMENTS.md section grids: the Fig. 7 modulus and the X-MP
-// layout, canonicalised under the section-fixing unit subgroup.
+// layout, canonicalised under the full unit group (the default,
+// validated by the section-units campaign).
 var sectionBenchGrid = []struct{ m, s, nc int }{{12, 3, 3}, {16, 4, 4}}
 
 func BenchmarkSweepSectionsSequential(b *testing.B) {
@@ -265,6 +266,39 @@ func BenchmarkSweepSectionsParallel(b *testing.B) {
 	}
 	b.ReportMetric(hitRate*100, "section_cache_hit_%")
 	b.ReportMetric(seq.Seconds()/(b.Elapsed().Seconds()/float64(b.N)), "speedup_vs_seq")
+}
+
+// The fixed-placement triple census under the translation-orbit cache
+// key: a census at translated starts (t, 1+t, 2+t) is the standard
+// census seen through the translation isomorphism, so the translated
+// pass must be answered entirely from the cache (100% hits).
+func BenchmarkSweepTripleCensusTranslated(b *testing.B) {
+	var base, translated float64
+	for i := 0; i < b.N; i++ {
+		eng := sweep.NewEngine(sweep.Options{Workers: 4})
+		eng.Triples(13, 4)
+		m0 := eng.Metrics().Family("triple")
+		base = float64(m0.Hits) / float64(m0.Hits+m0.Misses)
+		eng.TriplesAt(13, 4, [3]int{5, 6, 7})
+		m1 := eng.Metrics().Family("triple")
+		dh, dm := m1.Hits-m0.Hits, m1.Misses-m0.Misses
+		translated = float64(dh) / float64(dh+dm)
+	}
+	b.ReportMetric(base*100, "census_cache_hit_%")
+	b.ReportMetric(translated*100, "translated_census_hit_%")
+}
+
+// The generic four-stream grid (p=4, one stream per CPU): traffic of a
+// spec outside the three legacy families, accounted under its own
+// "stream4" cache family.
+func BenchmarkSweepNStreamParallel(b *testing.B) {
+	var hitRate float64
+	for i := 0; i < b.N; i++ {
+		eng := sweep.NewEngine(sweep.Options{Workers: 4})
+		eng.NStreamGrid(4, 1, 4)
+		hitRate = eng.Metrics().FamilyHitRate("stream4")
+	}
+	b.ReportMetric(hitRate*100, "stream4_cache_hit_%")
 }
 
 // Theorems 4-7 / Eq. 29: every unique-barrier pair of the 16-bank

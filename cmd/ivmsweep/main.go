@@ -37,6 +37,8 @@ func main() {
 	secs := flag.Int("s", 0, "number of sections; nonzero selects the section-theorem sweep (one CPU, Theorems 8/9)")
 	triples := flag.Bool("triples", false, "sweep three-stream triples (all relative placements) against the capacity bounds instead")
 	census := flag.Bool("triple-census", false, "with -triples: only the fixed placement (0,1,2) per triple, the cheap regime scan")
+	streams := flag.Int("streams", 0, "sweep N concurrent streams (one per CPU, all relative placements) against the capacity bounds; 0 selects the pair sweep")
+	fullUnits := flag.Bool("section-full-units", true, "canonicalise section sweeps under the full unit group (validated by ivmablate -study section-units); false restricts to u ≡ 1 (mod s)")
 	full := flag.Bool("full", false, "print the full per-pair table (default: summary only)")
 	workers := flag.Int("workers", 0, "sweep worker goroutines; 0 selects GOMAXPROCS")
 	cache := flag.Int("cache", sweep.DefaultCacheSize, "cyclic-state cache entries, shared by pair, triple and section sweeps; negative disables caching")
@@ -50,12 +52,21 @@ func main() {
 	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
 
+	if err := validateSweepFlags(sweepFlags{streams: *streams, secs: *secs, triples: *triples, census: *census}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	stop, err := prof.Start()
 	if err != nil {
 		fail("%v", err)
 	}
 
-	eng := sweep.NewEngine(sweep.Options{Workers: *workers, CacheSize: *cache, CollectStats: *showStats})
+	eng := sweep.NewEngine(sweep.Options{
+		Workers: *workers, CacheSize: *cache, CollectStats: *showStats,
+		SectionFullUnits: fullUnits,
+	})
 	if *metricsAddr != "" {
 		reg := obs.NewRegistry()
 		reg.Register("engine", func() any { return eng.Snapshot() })
@@ -68,7 +79,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", addr)
 	}
 
-	runSweeps(eng, *m, *nc, *secs, *triples, *census, *full)
+	runSweeps(eng, *m, *nc, *secs, *streams, *triples, *census, *full)
 
 	fmt.Println()
 	fmt.Print(eng.Metrics().Table())
@@ -124,7 +135,48 @@ func main() {
 	}
 }
 
-func runSweeps(eng *sweep.Engine, m, nc, secs int, triples, census, full bool) {
+// sweepFlags collects the mutually exclusive sweep-family selectors
+// for validation before any work starts.
+type sweepFlags struct {
+	streams int
+	secs    int
+	triples bool
+	census  bool
+}
+
+// validateSweepFlags rejects conflicting flag combinations with a
+// usage error instead of silently ignoring one of the flags.
+func validateSweepFlags(f sweepFlags) error {
+	if f.streams < 0 || f.streams == 1 {
+		return fmt.Errorf("-streams wants 0 (pair sweep) or at least 2 streams, got %d", f.streams)
+	}
+	if f.census && !f.triples {
+		return fmt.Errorf("-triple-census only applies together with -triples")
+	}
+	if f.triples && f.secs != 0 {
+		return fmt.Errorf("-triples sweeps are sectionless; -s selects the section-theorem pair sweep: pick one")
+	}
+	if f.streams >= 2 && f.triples {
+		return fmt.Errorf("-streams and -triples select different sweeps: pick one")
+	}
+	if f.streams >= 2 && f.secs != 0 {
+		return fmt.Errorf("the -streams grid is sectionless; -s selects the section-theorem pair sweep: pick one")
+	}
+	return nil
+}
+
+func runSweeps(eng *sweep.Engine, m, nc, secs, streams int, triples, census, full bool) {
+	if streams >= 2 {
+		results := eng.NStreamGrid(m, nc, streams)
+		if full {
+			fmt.Print(sweep.SpecTable(results))
+			fmt.Println()
+		}
+		sum := sweep.SummariseSpecGrid(results)
+		fmt.Printf("m=%d n_c=%d p=%d: %d distance tuples over %d placements; bound attained somewhere by %d tuples (%d placements), violated by %d\n",
+			m, nc, streams, sum.Triples, sum.Starts, sum.TightSomewhere, sum.TightStarts, sum.Violations)
+		return
+	}
 	if triples {
 		if census {
 			results := eng.Triples(m, nc)

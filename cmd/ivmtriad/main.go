@@ -63,7 +63,8 @@ func main() {
 				inc, r.BoundMin, r.BoundMax, r.SimMin, r.SimMax, r.TightStarts, r.Starts)
 		}
 		m := eng.Metrics()
+		tf := m.Family("triple")
 		fmt.Printf("engine: %d placements, %.0f%% cache hits\n",
-			m.TripleCacheHits+m.TripleCacheMisses, m.TripleHitRate()*100)
+			tf.Hits+tf.Misses, m.TripleHitRate()*100)
 	}
 }

@@ -138,14 +138,7 @@ func (s *System) FindCycle(maxClocks int64) (Cycle, error) {
 // return b_eff. See FindCycle for the mechanics.
 func SteadyBandwidth(cfg Config, maxClocks int64, specs ...StreamSpec) (rat.Rational, error) {
 	sys := New(cfg)
-	for i, sp := range specs {
-		cpu := sp.CPU
-		label := sp.Label
-		if label == "" {
-			label = fmt.Sprintf("%d", i+1)
-		}
-		sys.AddPort(cpu, label, NewInfiniteStrided(int64(sp.Start), int64(sp.Distance)))
-	}
+	sys.AddStreams(specs...)
 	c, err := sys.FindCycle(maxClocks)
 	if err != nil {
 		return rat.Zero(), err
@@ -153,11 +146,28 @@ func SteadyBandwidth(cfg Config, maxClocks int64, specs ...StreamSpec) (rat.Rati
 	return c.EffectiveBandwidth(), nil
 }
 
-// StreamSpec names an infinite bank-space stream for SteadyBandwidth
-// and the experiment drivers: start bank, distance, owning CPU.
+// StreamSpec names an infinite bank-space stream for AddStreams,
+// SteadyBandwidth and the experiment drivers: start bank, distance,
+// owning CPU.
 type StreamSpec struct {
 	Start    int
 	Distance int
 	CPU      int
 	Label    string
+}
+
+// AddStreams attaches one infinite strided source port per spec, in
+// order. Streams without a label are named by their position ("1",
+// "2", …), the convention every sweep table and trace uses. This is
+// the one construction path from declarative stream specs to live
+// ports; SteadyBandwidth and the sweep engine's generic ConfigSpec
+// path both build on it.
+func (s *System) AddStreams(specs ...StreamSpec) {
+	for i, sp := range specs {
+		label := sp.Label
+		if label == "" {
+			label = fmt.Sprintf("%d", i+1)
+		}
+		s.AddPort(sp.CPU, label, NewInfiniteStrided(int64(sp.Start), int64(sp.Distance)))
+	}
 }

@@ -23,6 +23,7 @@ const (
 	MixedCycle
 )
 
+// String names the cycle class for reports.
 func (k CycleKind) String() string {
 	switch k {
 	case FreeCycle:

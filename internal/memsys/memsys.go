@@ -39,6 +39,7 @@ const (
 	ConsecutiveSections
 )
 
+// String names the mapping for tables and flag output.
 func (sm SectionMapping) String() string {
 	switch sm {
 	case CyclicSections:
@@ -63,6 +64,7 @@ const (
 	CyclicPriority
 )
 
+// String names the rule for tables and flag output.
 func (pr PriorityRule) String() string {
 	switch pr {
 	case FixedPriority:
@@ -78,6 +80,7 @@ func (pr PriorityRule) String() string {
 type ConflictKind int
 
 const (
+	// NoConflict: the request was granted without delay.
 	NoConflict ConflictKind = iota
 	// BankConflict: access to an active bank was requested.
 	BankConflict
@@ -89,6 +92,7 @@ const (
 	SectionConflict
 )
 
+// String names the conflict class, matching the paper's terms.
 func (k ConflictKind) String() string {
 	switch k {
 	case NoConflict:

@@ -1,0 +1,140 @@
+package modmath
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randVec draws a configuration vector of nd distances and nb starts.
+func randVec(rng *rand.Rand, m, nd, nb int) []int {
+	v := make([]int, nd+nb)
+	for i := range v {
+		v[i] = rng.Intn(m)
+	}
+	return v
+}
+
+func TestTranslateNormalForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		m := 2 + rng.Intn(15)
+		divs := Divisors(m)
+		step := divs[rng.Intn(len(divs))]
+		tr := Translate{M: m, Step: step}
+		nd := 1 + rng.Intn(3)
+		v := randVec(rng, m, nd, nd)
+
+		got := append([]int(nil), v...)
+		tr.Canonicalize(got, nd)
+		if b1 := got[nd]; b1 < 0 || b1 >= step {
+			t.Fatalf("m=%d step=%d v=%v: first start %d not in [0,%d)", m, step, v, b1, step)
+		}
+		// Idempotent.
+		again := append([]int(nil), got...)
+		tr.Canonicalize(again, nd)
+		if !reflect.DeepEqual(again, got) {
+			t.Fatalf("m=%d step=%d: not idempotent: %v -> %v", m, step, got, again)
+		}
+		// Invariant under every allowed translation t ≡ 0 (mod step).
+		for sh := 0; sh < m; sh += step {
+			w := append([]int(nil), v...)
+			for i := nd; i < len(w); i++ {
+				w[i] = Mod(w[i]+sh, m)
+			}
+			tr.Canonicalize(w, nd)
+			if !reflect.DeepEqual(w, got) {
+				t.Fatalf("m=%d step=%d v=%v shift %d: representative %v != %v", m, step, v, sh, w, got)
+			}
+		}
+	}
+}
+
+// With no Renorm stage, UnitMin is exactly the lex-min orbit form of
+// CanonicalizeInto.
+func TestUnitMinMatchesCanonicalizeInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.Intn(16)
+		units := Units(m)
+		nd := 1 + rng.Intn(3)
+		v := randVec(rng, m, nd, rng.Intn(3))
+
+		want := Canonical(v, m, units)
+		got := append([]int(nil), v...)
+		NewUnitMin(m, units, nil).Canonicalize(got, nd)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("m=%d v=%v: UnitMin %v != CanonicalizeInto %v", m, v, got, want)
+		}
+	}
+}
+
+// The affine pipeline's form is constant on orbits of the generated
+// group {j -> u·j + t} and idempotent — the two properties that make
+// it a sound cache key.
+func TestAffinePipelineOrbitInvariantAndIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 400; trial++ {
+		m := 2 + rng.Intn(15)
+		divs := Divisors(m)
+		step := divs[rng.Intn(len(divs))]
+		var units []int
+		if rng.Intn(2) == 0 {
+			units = Units(m)
+		} else {
+			units = UnitsFixing(m, step)
+		}
+		nd := 1 + rng.Intn(4)
+		v := randVec(rng, m, nd, nd)
+
+		pipe := NewAffinePipeline(m, step, units)
+		want := append([]int(nil), v...)
+		pipe.Canonicalize(want, nd)
+
+		again := append([]int(nil), want...)
+		pipe.Canonicalize(again, nd)
+		if !reflect.DeepEqual(again, want) {
+			t.Fatalf("m=%d step=%d v=%v: not idempotent: %v -> %v", m, step, v, want, again)
+		}
+
+		for k := 0; k < 8; k++ {
+			u := units[rng.Intn(len(units))]
+			sh := step * rng.Intn(m/step)
+			w := make([]int, len(v))
+			for i := 0; i < nd; i++ {
+				w[i] = Mod(u*v[i], m)
+			}
+			for i := nd; i < len(v); i++ {
+				w[i] = Mod(u*v[i]+sh, m)
+			}
+			pipe.Canonicalize(w, nd)
+			if !reflect.DeepEqual(w, want) {
+				t.Fatalf("m=%d step=%d v=%v under u=%d t=%d: representative %v != %v",
+					m, step, v, u, sh, w, want)
+			}
+		}
+	}
+}
+
+// For the vectors the sweep engine's legacy families produce — first
+// start pinned to 0, sectionless translation step — the affine
+// pipeline reduces to the plain unit-group lex-min of PR 3, so cache
+// keys (and hence hit patterns and simulated representatives) carry
+// over unchanged.
+func TestAffinePipelinePreservesLegacyForms(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		m := 1 + rng.Intn(16)
+		units := Units(m)
+		nd := 2 + rng.Intn(2) // pairs and triples
+		v := randVec(rng, m, nd, nd)
+		v[nd] = 0 // b1 pinned, as in every legacy sweep loop
+
+		want := Canonical(v, m, units)
+		got := append([]int(nil), v...)
+		NewAffinePipeline(m, 1, units).Canonicalize(got, nd)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("m=%d v=%v: pipeline %v != legacy lex-min %v", m, v, got, want)
+		}
+	}
+}

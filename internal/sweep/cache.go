@@ -1,63 +1,52 @@
 package sweep
 
 import (
+	"encoding/binary"
 	"sync"
 
 	"ivm/internal/rat"
 )
 
-// sweepKind distinguishes the three cached configuration families. It
-// is part of the cache key: a pair, a triple and a section pair with
-// numerically identical vectors are different simulations.
-type sweepKind uint8
-
-const (
-	// kindPair is the sectionless two-stream configuration (two CPUs,
-	// streams (0, d1) and (b2, d2)); vector (d1, d2, b2).
-	kindPair sweepKind = iota
-	// kindSection is the sectioned one-CPU two-port configuration of
-	// the Theorem 8/9 sweeps; vector (d1, d2, b2), sections recorded
-	// in cacheKey.S.
-	kindSection
-	// kindTriple is the sectionless three-stream configuration (three
-	// CPUs, streams (0, d1), (b2, d2), (b3, d3)); vector
-	// (d1, d2, d3, b2, b3).
-	kindTriple
-	// numKinds sizes the per-kind counter arrays.
-	numKinds
-)
-
-// String names the kind for counter tables.
-func (k sweepKind) String() string {
-	switch k {
-	case kindPair:
-		return "pair"
-	case kindSection:
-		return "section"
-	case kindTriple:
-		return "triple"
-	}
-	return "unknown"
-}
-
-// vecLen is the number of meaningful elements of cacheKey.V for this
-// kind; the rest stay zero and do not perturb equality or hashing.
-func (k sweepKind) vecLen() int {
-	if k == kindTriple {
-		return 5
-	}
-	return 3
-}
-
 // cacheKey identifies one cyclic steady state in canonical
-// (orbit-minimal) form: the configuration family, the memory shape
-// (m, s, n_c) and the distance/start vector after canonicalisation
-// under the section-respecting unit group (see worker.canonicalKey and
-// docs/CACHING.md).
+// (orbit-minimal) form: the spec's configuration family, the memory
+// shape (m, s, n_c), the structural CPU layout, and the packed
+// configuration vector (d_1..d_N, b_1..b_N) after canonicalisation
+// through the spec's pipeline (see compiledSpec.key and
+// docs/CACHING.md). The CPU layout is part of the key because two
+// specs with equal vectors but different port topologies are different
+// simulations; the family string alone does not pin it for the generic
+// "streamN"/"sectionN" shapes.
 type cacheKey struct {
-	Kind     sweepKind
-	M, S, NC int
-	V        [5]int
+	family   string
+	m, s, nc int
+	cpus     string
+	vec      string
+}
+
+// packInts encodes a vector as a compact varint string for use as a
+// map-key component.
+func packInts(v []int) string {
+	b := make([]byte, 0, 2*len(v))
+	for _, x := range v {
+		b = binary.AppendVarint(b, int64(x))
+	}
+	return string(b)
+}
+
+// unpackInts inverts packInts (differential tests reconstruct cached
+// configurations from their keys).
+func unpackInts(s string) []int {
+	b := []byte(s)
+	var out []int
+	for len(b) > 0 {
+		x, n := binary.Varint(b)
+		if n <= 0 {
+			panic("sweep: corrupt packed vector")
+		}
+		out = append(out, int(x))
+		b = b[n:]
+	}
+	return out
 }
 
 // shard spreads keys over the cache shards with an FNV-style mix.
@@ -67,12 +56,17 @@ func (k cacheKey) shard() int {
 		h ^= uint64(uint32(v))
 		h *= 16777619
 	}
-	mix(int(k.Kind))
-	mix(k.M)
-	mix(k.S)
-	mix(k.NC)
-	for _, v := range k.V {
-		mix(v)
+	for i := 0; i < len(k.family); i++ {
+		mix(int(k.family[i]))
+	}
+	mix(k.m)
+	mix(k.s)
+	mix(k.nc)
+	for i := 0; i < len(k.cpus); i++ {
+		mix(int(k.cpus[i]))
+	}
+	for i := 0; i < len(k.vec); i++ {
+		mix(int(k.vec[i]))
 	}
 	return int(h % cacheShardCount)
 }
@@ -84,8 +78,7 @@ const cacheShardCount = 16
 // path; eviction is generational — a full shard is dropped wholesale
 // rather than tracking recency, which is cheap and, because cached
 // values are pure functions of the key, only ever costs a recompute.
-// Pair, triple and section entries share the shards and the size
-// budget.
+// All configuration families share the shards and the size budget.
 type bwCache struct {
 	perShard int
 	shards   [cacheShardCount]bwShard

@@ -86,10 +86,16 @@ func TestCacheSemanticsPreserving(t *testing.T) {
 		if !ok {
 			t.Fatalf("hit key %+v evicted from an oversized cache", k)
 		}
-		if k.Kind != kindPair {
-			t.Fatalf("pair grid produced a %v cache key: %+v", k.Kind, k)
+		if k.family != "pair" {
+			t.Fatalf("pair grid produced a %q cache key: %+v", k.family, k)
 		}
-		cold := simulateOnce(k.M, k.NC, k.V[0], k.V[2], k.V[1])
+		// Rebuild the canonical configuration from the key and simulate
+		// it cold: v = (d1, d2, b1, b2).
+		v := unpackInts(k.vec)
+		if len(v) != 4 {
+			t.Fatalf("pair key %+v unpacked to %v", k, v)
+		}
+		cold := simulateSpecVec(PairSpec(k.m, k.nc, v[0], v[1]), v)
 		if !got.Equal(cold) {
 			t.Fatalf("key %+v: cached %s != cold recomputation %s", k, got, cold)
 		}

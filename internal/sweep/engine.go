@@ -1,8 +1,12 @@
 package sweep
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,37 +32,149 @@ type Options struct {
 	// <= 0 selects GOMAXPROCS.
 	Workers int
 	// CacheSize bounds the cyclic-state memo cache in entries: 0 means
-	// DefaultCacheSize, negative disables caching. The cache covers all
-	// three sweep families — sectionless pairs, sectionless triples and
-	// section pairs — keyed by the canonical form of the configuration
-	// under the bank-renumbering isomorphism; section sweeps restrict
-	// the renumbering to the subgroup of units fixing the k = j mod s
-	// section map (see docs/CACHING.md for the derivation).
+	// DefaultCacheSize, negative disables caching. The cache covers
+	// every configuration family the spec layer produces — sectionless
+	// pairs, triples and N-stream grids, section pairs, and so on —
+	// keyed by the canonical form of the configuration vector under the
+	// bank-renumbering isomorphisms (see docs/CACHING.md for the
+	// derivations).
 	CacheSize int
 	// CollectStats attaches a stats.Collector to every worker's
 	// simulator and merges them after each sweep (see Stats). Off by
 	// default: per-event collection slows the hot loop.
 	CollectStats bool
+	// SectionFullUnits selects the scaling group used to canonicalise
+	// sectioned configurations. When nil or pointing at true (the
+	// default), the full unit group of Z_m is used: a unit u permutes
+	// the sections k -> u·k mod s, and the arbitration is
+	// section-symmetric, so the renumbered system is isomorphic — the
+	// claim the differential campaign of docs/CACHING.md validates.
+	// Point at false to restrict canonicalisation to the conservative
+	// subgroup u ≡ 1 (mod s) that fixes every section (the PR 3 key).
+	SectionFullUnits *bool
+}
+
+// sectionFullUnits reports whether sectioned canonicalisation may scale
+// by the full unit group rather than the section-fixing subgroup.
+func (o Options) sectionFullUnits() bool {
+	return o.SectionFullUnits == nil || *o.SectionFullUnits
+}
+
+// FamilyMetrics is the cache traffic of one configuration family.
+type FamilyMetrics struct {
+	Hits   int64
+	Misses int64
 }
 
 // Metrics are the engine's cumulative counters. All values aggregate
-// over every sweep the engine has run; the per-kind cache counters
-// split the totals by configuration family.
+// over every sweep the engine has run; Families splits the cache
+// totals by configuration family (ConfigSpec.Family), holding only
+// families that saw traffic. The JSON encoding is stable across the
+// ConfigSpec refactor: the historical families keep their flat
+// pair_cache_hits / triple_cache_misses / … field names (emitted even
+// when zero), and any other family appears as <family>_cache_hits /
+// <family>_cache_misses.
 type Metrics struct {
-	CacheHits   int64 `json:"cache_hits"`   // starts answered from the memo cache (all kinds)
-	CacheMisses int64 `json:"cache_misses"` // starts that had to be simulated (all kinds)
-	// Per-family cache traffic: sectionless pairs, all-placements
-	// triples (and the fixed-placement census), and section pairs.
-	PairCacheHits      int64 `json:"pair_cache_hits"`
-	PairCacheMisses    int64 `json:"pair_cache_misses"`
-	TripleCacheHits    int64 `json:"triple_cache_hits"`
-	TripleCacheMisses  int64 `json:"triple_cache_misses"`
-	SectionCacheHits   int64 `json:"section_cache_hits"`
-	SectionCacheMisses int64 `json:"section_cache_misses"`
-	CacheEntries       int   `json:"cache_entries"`   // entries currently cached
-	CyclesFound        int64 `json:"cycles_found"`    // cyclic steady states detected
-	StepsSimulated     int64 `json:"steps_simulated"` // clock periods stepped across all simulations
-	PairsSwept         int64 `json:"pairs_swept"`     // sweep units (pairs/triples/section pairs) completed
+	CacheHits   int64 // starts answered from the memo cache (all families)
+	CacheMisses int64 // starts that had to be simulated (all families)
+	// Families is the per-family cache traffic, keyed by
+	// ConfigSpec.Family ("pair", "triple", "section", "stream4", …).
+	Families       map[string]FamilyMetrics
+	CacheEntries   int   // entries currently cached
+	CyclesFound    int64 // cyclic steady states detected
+	StepsSimulated int64 // clock periods stepped across all simulations
+	PairsSwept     int64 // sweep units (pairs/triples/section pairs/specs) completed
+}
+
+// legacyFamilies are the families that predate the generic spec layer;
+// their counters are always present in the JSON encoding, zero or not,
+// so downstream consumers of BENCH_sweep.json keep their fields.
+var legacyFamilies = []string{"pair", "triple", "section"}
+
+// familyOrder lists the families of m in rendering order: the legacy
+// three first (when present, or forced when includeLegacy), then the
+// rest sorted by name.
+func familyOrder(fams map[string]FamilyMetrics, includeLegacy bool) []string {
+	var names []string
+	for _, name := range legacyFamilies {
+		if _, ok := fams[name]; ok || includeLegacy {
+			names = append(names, name)
+		}
+	}
+	var rest []string
+	for name := range fams {
+		legacy := false
+		for _, l := range legacyFamilies {
+			if name == l {
+				legacy = true
+				break
+			}
+		}
+		if !legacy {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	return append(names, rest...)
+}
+
+// MarshalJSON encodes the counters with the pre-refactor field layout
+// (see the Metrics doc comment).
+func (m Metrics) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	field := func(name string, v int64) {
+		if b.Len() > 1 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q:%d", name, v)
+	}
+	field("cache_hits", m.CacheHits)
+	field("cache_misses", m.CacheMisses)
+	for _, name := range familyOrder(m.Families, true) {
+		f := m.Families[name]
+		field(name+"_cache_hits", f.Hits)
+		field(name+"_cache_misses", f.Misses)
+	}
+	field("cache_entries", int64(m.CacheEntries))
+	field("cycles_found", m.CyclesFound)
+	field("steps_simulated", m.StepsSimulated)
+	field("pairs_swept", m.PairsSwept)
+	b.WriteByte('}')
+	return b.Bytes(), nil
+}
+
+// UnmarshalJSON inverts MarshalJSON, rebuilding Families from the
+// <family>_cache_hits/_misses fields (families without traffic are
+// dropped, matching what Engine.Metrics reports).
+func (m *Metrics) UnmarshalJSON(data []byte) error {
+	var raw map[string]int64
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	*m = Metrics{
+		CacheHits:      raw["cache_hits"],
+		CacheMisses:    raw["cache_misses"],
+		CacheEntries:   int(raw["cache_entries"]),
+		CyclesFound:    raw["cycles_found"],
+		StepsSimulated: raw["steps_simulated"],
+		PairsSwept:     raw["pairs_swept"],
+	}
+	for k, hits := range raw {
+		if k == "cache_hits" || !strings.HasSuffix(k, "_cache_hits") {
+			continue
+		}
+		name := strings.TrimSuffix(k, "_cache_hits")
+		f := FamilyMetrics{Hits: hits, Misses: raw[name+"_cache_misses"]}
+		if f.Hits+f.Misses == 0 {
+			continue
+		}
+		if m.Families == nil {
+			m.Families = make(map[string]FamilyMetrics)
+		}
+		m.Families[name] = f
+	}
+	return nil
 }
 
 func hitRate(hits, misses int64) float64 {
@@ -73,18 +189,30 @@ func hitRate(hits, misses int64) float64 {
 // unused.
 func (m Metrics) HitRate() float64 { return hitRate(m.CacheHits, m.CacheMisses) }
 
+// Family returns the cache traffic of one configuration family (the
+// zero FamilyMetrics when it saw none).
+func (m Metrics) Family(name string) FamilyMetrics { return m.Families[name] }
+
+// FamilyHitRate returns the cache hit fraction of one configuration
+// family, 0 when it saw no traffic.
+func (m Metrics) FamilyHitRate(name string) float64 {
+	f := m.Families[name]
+	return hitRate(f.Hits, f.Misses)
+}
+
 // PairHitRate returns the cache hit fraction of the sectionless pair
 // sweeps.
-func (m Metrics) PairHitRate() float64 { return hitRate(m.PairCacheHits, m.PairCacheMisses) }
+func (m Metrics) PairHitRate() float64 { return m.FamilyHitRate("pair") }
 
 // TripleHitRate returns the cache hit fraction of the triple sweeps.
-func (m Metrics) TripleHitRate() float64 { return hitRate(m.TripleCacheHits, m.TripleCacheMisses) }
+func (m Metrics) TripleHitRate() float64 { return m.FamilyHitRate("triple") }
 
 // SectionHitRate returns the cache hit fraction of the section sweeps.
-func (m Metrics) SectionHitRate() float64 { return hitRate(m.SectionCacheHits, m.SectionCacheMisses) }
+func (m Metrics) SectionHitRate() float64 { return m.FamilyHitRate("section") }
 
-// Table renders the counters as an aligned text table. Per-kind cache
-// rows appear only for kinds that saw traffic.
+// Table renders the counters as an aligned text table. Per-family
+// cache rows appear only for families that saw traffic, legacy
+// families first.
 func (m Metrics) Table() string {
 	t := &textplot.Table{Header: []string{"engine counter", "value"}}
 	t.Add("sweep units", m.PairsSwept)
@@ -94,47 +222,41 @@ func (m Metrics) Table() string {
 	t.Add("cache misses", m.CacheMisses)
 	t.Add("cache entries", m.CacheEntries)
 	t.Add("cache hit rate", fmt.Sprintf("%.1f%%", m.HitRate()*100))
-	kinds := []struct {
-		name         string
-		hits, misses int64
-		rate         float64
-	}{
-		{"pair", m.PairCacheHits, m.PairCacheMisses, m.PairHitRate()},
-		{"triple", m.TripleCacheHits, m.TripleCacheMisses, m.TripleHitRate()},
-		{"section", m.SectionCacheHits, m.SectionCacheMisses, m.SectionHitRate()},
-	}
-	for _, k := range kinds {
-		if k.hits+k.misses == 0 {
+	for _, name := range familyOrder(m.Families, false) {
+		f := m.Families[name]
+		if f.Hits+f.Misses == 0 {
 			continue
 		}
-		t.Add(k.name+" hit rate", fmt.Sprintf("%.1f%% (%d/%d)", k.rate*100, k.hits, k.hits+k.misses))
+		t.Add(name+" hit rate",
+			fmt.Sprintf("%.1f%% (%d/%d)", hitRate(f.Hits, f.Misses)*100, f.Hits, f.Hits+f.Misses))
 	}
 	return t.String()
 }
 
-// Engine is the parallel sweep harness: a bounded worker pool over the
-// pair, triple and section-pair grids with a sharded memoization cache
-// of cyclic steady states. Results are always returned in the
-// sequential sweep order, so output is byte-identical to
-// Grid/SectionGrid/SweepTriples/TripleGrid regardless of worker count
-// or cache state.
+// Engine is the parallel sweep harness: a bounded worker pool over
+// spec-driven sweeps with a sharded memoization cache of cyclic steady
+// states. Results are always returned in the sequential sweep order,
+// so output is byte-identical to Grid/SectionGrid/SweepTriples/
+// TripleGrid/SweepSpec regardless of worker count or cache state.
 //
-// The cache key is the canonical representative of the configuration
-// vector under the Appendix isomorphism: renumbering the banks
-// j -> u·j mod m by a unit u maps arithmetic streams onto arithmetic
-// streams while commuting with every conflict rule of the simulator,
-// so all placements of one orbit share a single simulated steady
-// state. Pairs canonicalise (d1, d2, b2) and triples
-// (d1, d2, d3, b2, b3) under the full unit group; section pairs
-// restrict to the subgroup of units congruent to 1 mod s, which fixes
-// the k = j mod s section of every bank (docs/CACHING.md derives all
-// four cases). An Engine is safe for concurrent use by multiple
+// Every sweep — pair, triple, section or generic N-stream — routes
+// through one path: the spec is compiled against the worker
+// (compiledSpec), each placement's configuration vector
+// (d_1..d_N, b_1..b_N) is canonicalised by the spec's modmath pipeline
+// (translation orbits composed with the unit-group scaling action,
+// restricted per Options.SectionFullUnits on sectioned memories), and
+// the canonical representative keys the cache. On a miss the CANONICAL
+// representative is simulated, so the cached value is exactly what any
+// placement of the orbit would produce; docs/CACHING.md derives the
+// isomorphisms. An Engine is safe for concurrent use by multiple
 // goroutines, though each sweep call already saturates its own pool.
 type Engine struct {
 	opt   Options
 	cache *bwCache
 
-	hits, misses         [numKinds]atomic.Int64
+	famMu sync.Mutex
+	fams  map[string]*familyCounter
+
 	cycles, steps, pairs atomic.Int64
 
 	// Observability counters (see Snapshot): wall time spent inside
@@ -148,6 +270,13 @@ type Engine struct {
 
 	// onHit is a test hook observing cache hits (set before sweeping).
 	onHit func(cacheKey)
+}
+
+// familyCounter is one family's hit/miss pair; workers cache the
+// pointer per compiled spec so the hot path is two atomic adds away
+// from the map.
+type familyCounter struct {
+	hits, misses atomic.Int64
 }
 
 // NewEngine builds an engine; the zero Options select GOMAXPROCS
@@ -167,21 +296,43 @@ func NewEngine(opt Options) *Engine {
 // Options returns the engine's configuration.
 func (e *Engine) Options() Options { return e.opt }
 
+// familyCounter returns (creating on first use) the counter of one
+// configuration family.
+func (e *Engine) familyCounter(name string) *familyCounter {
+	e.famMu.Lock()
+	defer e.famMu.Unlock()
+	if e.fams == nil {
+		e.fams = make(map[string]*familyCounter)
+	}
+	c := e.fams[name]
+	if c == nil {
+		c = &familyCounter{}
+		e.fams[name] = c
+	}
+	return c
+}
+
 // Metrics snapshots the engine's cumulative counters.
 func (e *Engine) Metrics() Metrics {
 	m := Metrics{
-		PairCacheHits:      e.hits[kindPair].Load(),
-		PairCacheMisses:    e.misses[kindPair].Load(),
-		TripleCacheHits:    e.hits[kindTriple].Load(),
-		TripleCacheMisses:  e.misses[kindTriple].Load(),
-		SectionCacheHits:   e.hits[kindSection].Load(),
-		SectionCacheMisses: e.misses[kindSection].Load(),
-		CyclesFound:        e.cycles.Load(),
-		StepsSimulated:     e.steps.Load(),
-		PairsSwept:         e.pairs.Load(),
+		CyclesFound:    e.cycles.Load(),
+		StepsSimulated: e.steps.Load(),
+		PairsSwept:     e.pairs.Load(),
 	}
-	m.CacheHits = m.PairCacheHits + m.TripleCacheHits + m.SectionCacheHits
-	m.CacheMisses = m.PairCacheMisses + m.TripleCacheMisses + m.SectionCacheMisses
+	e.famMu.Lock()
+	for name, c := range e.fams {
+		h, mi := c.hits.Load(), c.misses.Load()
+		if h+mi == 0 {
+			continue
+		}
+		if m.Families == nil {
+			m.Families = make(map[string]FamilyMetrics)
+		}
+		m.Families[name] = FamilyMetrics{Hits: h, Misses: mi}
+		m.CacheHits += h
+		m.CacheMisses += mi
+	}
+	e.famMu.Unlock()
 	if e.cache != nil {
 		m.CacheEntries = e.cache.Len()
 	}
@@ -281,13 +432,12 @@ func (e *Engine) SweepPair(m, nc, d1, d2 int) PairResult {
 
 // SectionGrid is the parallel, cached equivalent of SectionGrid: same
 // pairs, same order, same values. Placements are canonicalised under
-// the section-respecting unit subgroup before the cache lookup.
+// the section-respecting pipeline before the cache lookup.
 func (e *Engine) SectionGrid(m, s, nc int) []SectionPairResult {
 	pairs := gridPairs(m, nc)
 	out := make([]SectionPairResult, len(pairs))
 	e.run(len(pairs), func(w *worker, i int) {
-		e.pairs.Add(1)
-		out[i] = sweepSectionPairWith(m, s, nc, pairs[i][0], pairs[i][1], w.sectionBandwidth)
+		out[i] = w.sweepSectionPair(m, s, nc, pairs[i][0], pairs[i][1])
 	})
 	return out
 }
@@ -297,21 +447,32 @@ func (e *Engine) SectionGrid(m, s, nc int) []SectionPairResult {
 func (e *Engine) SweepSectionPair(m, s, nc, d1, d2 int) SectionPairResult {
 	var out SectionPairResult
 	e.run(1, func(w *worker, _ int) {
-		e.pairs.Add(1)
-		out = sweepSectionPairWith(m, s, nc, d1, d2, w.sectionBandwidth)
+		out = w.sweepSectionPair(m, s, nc, d1, d2)
 	})
 	return out
 }
 
 // Triples is the parallel, cached equivalent of SweepTriples (the
-// fixed-placement census).
+// fixed-placement census at starts (0, 1, 2)).
 func (e *Engine) Triples(m, nc int) []TripleResult {
+	return e.TriplesAt(m, nc, [3]int{0, 1, 2})
+}
+
+// TriplesAt runs the fixed-placement triple census at an arbitrary
+// start placement b. Placements that are translates of one another
+// canonicalise to the same cache key, so TriplesAt(m, nc, {t, 1+t,
+// 2+t}) replays the cyclic states of the standard census for free —
+// the translation-orbit benchmark of scripts/bench.sh measures exactly
+// that reuse.
+func (e *Engine) TriplesAt(m, nc int, b [3]int) []TripleResult {
 	triples := tripleList(m)
 	out := make([]TripleResult, len(triples))
 	e.run(len(triples), func(w *worker, i int) {
 		e.pairs.Add(1)
 		d := triples[i]
-		out[i] = tripleFrom(m, nc, d, w.tripleBandwidth(m, nc, d, 1, 2))
+		cs := w.compile(TripleCensusSpec(m, nc, d, b))
+		cs.b[0], cs.b[1], cs.b[2] = b[0], b[1], b[2]
+		out[i] = tripleFrom(m, nc, d, b, w.bw(cs, cs.b))
 	})
 	return out
 }
@@ -338,11 +499,37 @@ func (e *Engine) SweepTriple(m, nc int, d [3]int) TripleSweepResult {
 	return out
 }
 
+// SweepSpec sweeps one ConfigSpec through the engine — the parallel,
+// cached equivalent of the sequential SweepSpec function.
+func (e *Engine) SweepSpec(spec ConfigSpec) SpecResult {
+	var out SpecResult
+	e.run(1, func(w *worker, _ int) {
+		e.pairs.Add(1)
+		cs := w.compile(spec)
+		out = sweepSpecWith(spec, func(b []int) rat.Rational { return w.bw(cs, b) })
+	})
+	return out
+}
+
+// NStreamGrid is the parallel, cached equivalent of NStreamGrid: every
+// nondecreasing non-self-conflicting distance N-tuple over all
+// m^(N-1) relative placements.
+func (e *Engine) NStreamGrid(m, nc, n int) []SpecResult {
+	specs := nStreamSpecs(m, nc, n)
+	out := make([]SpecResult, len(specs))
+	e.run(len(specs), func(w *worker, i int) {
+		e.pairs.Add(1)
+		cs := w.compile(specs[i])
+		out[i] = sweepSpecWith(specs[i], func(b []int) rat.Rational { return w.bw(cs, b) })
+	})
+	return out
+}
+
 // --- Workers ------------------------------------------------------------
 
 // worker is the per-goroutine state of one pool member: a reusable
-// simulator, its collector, and the memoised unit group of the current
-// (modulus, sections) pair.
+// simulator, its collector, and the memoised canonicalisation pipeline
+// of the current (modulus, sections) pair.
 type worker struct {
 	e   *Engine
 	id  int
@@ -355,11 +542,9 @@ type worker struct {
 	steps  int64
 	busyNS int64
 
-	units          []int
-	unitsM, unitsS int
-
-	// vec is the canonicalisation scratch vector (see keyOf).
-	vec [5]int
+	// Memoised canonicalisation pipeline (see pipelineFor).
+	pipe                     modmath.Pipeline
+	pipeM, pipeStep, pipeFix int
 }
 
 // system returns the worker's simulator for cfg, reset and ready for
@@ -426,128 +611,169 @@ func (w *worker) findCycle(sys *memsys.System, what string) memsys.Cycle {
 
 func (w *worker) sweepPair(m, nc, d1, d2 int) PairResult {
 	w.e.pairs.Add(1)
-	return sweepPairWith(m, nc, d1, d2, w.bandwidth)
+	cs := w.compile(PairSpec(m, nc, d1, d2))
+	return sweepPairWith(m, nc, d1, d2, cs.twoStreamBW(w))
+}
+
+func (w *worker) sweepSectionPair(m, s, nc, d1, d2 int) SectionPairResult {
+	w.e.pairs.Add(1)
+	cs := w.compile(SectionPairSpec(m, s, nc, d1, d2))
+	return sweepSectionPairWith(m, s, nc, d1, d2, cs.twoStreamBW(w))
 }
 
 func (w *worker) sweepTriple(m, nc int, d [3]int) TripleSweepResult {
 	w.e.pairs.Add(1)
-	return sweepTripleWith(m, nc, d, w.tripleBandwidth)
+	cs := w.compile(TripleSpec(m, nc, d))
+	return sweepTripleWith(m, nc, d, cs.tripleBW(w))
 }
 
-// unitGroup returns the memoised scaling group for an (m, s) memory:
-// all units of Z_m when s <= 1, the section-fixing subgroup otherwise.
-func (w *worker) unitGroup(m, s int) []int {
-	if w.unitsM != m || w.unitsS != s {
-		w.units = modmath.UnitsFixing(m, s)
-		w.unitsM, w.unitsS = m, s
+// pipelineFor returns the memoised canonicalisation pipeline of an
+// (m, s) memory: translation normalisation by multiples of the section
+// count (every translation when sectionless), composed with scaling
+// minimisation over the full unit group — or over the section-fixing
+// subgroup when Options.SectionFullUnits disables the stronger
+// reduction on a sectioned memory.
+func (w *worker) pipelineFor(m, s int) modmath.Pipeline {
+	step := 1
+	if s > 1 {
+		step = s
 	}
-	return w.units
+	fix := 1
+	if s > 1 && !w.e.opt.sectionFullUnits() {
+		fix = s
+	}
+	if w.pipe == nil || w.pipeM != m || w.pipeStep != step || w.pipeFix != fix {
+		w.pipe = modmath.NewAffinePipeline(m, step, modmath.UnitsFixing(m, fix))
+		w.pipeM, w.pipeStep, w.pipeFix = m, step, fix
+	}
+	return w.pipe
 }
 
-// keyOf canonicalises the first n elements of w.vec under the (m, s)
-// unit group and returns the completed cache key. The canonical
-// representative is the lexicographically smallest member of the
-// orbit, so isomorphic placements collide in the cache by
-// construction.
-func (w *worker) keyOf(kind sweepKind, m, s, nc, n int) cacheKey {
-	key := cacheKey{Kind: kind, M: m, S: s, NC: nc}
-	modmath.CanonicalizeInto(key.V[:n], w.vec[:n], m, w.unitGroup(m, s))
-	return key
+// compiledSpec binds one ConfigSpec to a worker for the duration of a
+// work item: the derived family and counter, the canonicalisation
+// pipeline, the simulator configuration, and the scratch vectors the
+// hot loop reuses.
+type compiledSpec struct {
+	spec    ConfigSpec
+	family  string
+	cpus    string
+	counter *familyCounter
+	canon   modmath.Pipeline
+	cfg     memsys.Config
+
+	// vec is the (d_1..d_N, b_1..b_N) canonicalisation scratch; b is
+	// the start-vector scratch handed to bw by the sweep adapters.
+	vec []int
+	b   []int
 }
 
-// bandwidth resolves one relative start of a sectionless pair, through
-// the cache when enabled. On a miss the CANONICAL representative is
-// simulated, so the cached value is exactly what any placement of the
-// orbit would produce.
-func (w *worker) bandwidth(m, nc, d1, b2, d2 int) rat.Rational {
+// compile validates and binds spec to the worker. The returned value
+// shares the worker's pipeline memo, so it is only valid until the
+// worker compiles a spec with a different (m, s).
+func (w *worker) compile(spec ConfigSpec) *compiledSpec {
+	if err := spec.Validate(); err != nil {
+		panic("sweep: " + err.Error())
+	}
+	n := len(spec.Streams)
+	cpus := make([]int, n)
+	for i, st := range spec.Streams {
+		cpus[i] = st.CPU
+	}
+	cs := &compiledSpec{
+		spec:   spec,
+		family: spec.Family(),
+		cpus:   packInts(cpus),
+		canon:  w.pipelineFor(spec.M, spec.S),
+		cfg:    specConfig(spec),
+		vec:    make([]int, 2*n),
+		b:      make([]int, n),
+	}
+	cs.counter = w.e.familyCounter(cs.family)
+	for i, st := range spec.Streams {
+		cs.b[i] = st.B
+	}
+	return cs
+}
+
+// key canonicalises the placement b of the compiled spec and returns
+// its cache key, leaving the canonical configuration vector in cs.vec.
+// The canonical representative is the lexicographically smallest
+// member of the placement's orbit under the spec's pipeline, so
+// isomorphic placements collide in the cache by construction.
+func (cs *compiledSpec) key(b []int) cacheKey {
+	n := len(cs.spec.Streams)
+	for i, st := range cs.spec.Streams {
+		cs.vec[i] = st.D
+	}
+	copy(cs.vec[n:], b)
+	cs.canon.Canonicalize(cs.vec, n)
+	return cacheKey{
+		family: cs.family,
+		m:      cs.spec.M,
+		s:      cs.spec.S,
+		nc:     cs.spec.NC,
+		cpus:   cs.cpus,
+		vec:    packInts(cs.vec),
+	}
+}
+
+// twoStreamBW adapts the cached resolver to the two-stream sweep loops
+// (pair and section): stream 1 at its fixed start, stream 2 at b2.
+func (cs *compiledSpec) twoStreamBW(w *worker) func(b2 int) rat.Rational {
+	return func(b2 int) rat.Rational {
+		cs.b[0], cs.b[1] = cs.spec.Streams[0].B, b2
+		return w.bw(cs, cs.b)
+	}
+}
+
+// tripleBW adapts the cached resolver to the triple sweep loop:
+// stream 1 at its fixed start, streams 2 and 3 at (b2, b3).
+func (cs *compiledSpec) tripleBW(w *worker) func(b2, b3 int) rat.Rational {
+	return func(b2, b3 int) rat.Rational {
+		cs.b[0], cs.b[1], cs.b[2] = cs.spec.Streams[0].B, b2, b3
+		return w.bw(cs, cs.b)
+	}
+}
+
+// bw resolves one placement of a compiled spec, through the cache when
+// enabled. On a miss the CANONICAL representative is simulated — not
+// the requested placement — so the cached value is exactly what any
+// placement of the orbit would produce.
+func (w *worker) bw(cs *compiledSpec, b []int) rat.Rational {
 	e := w.e
 	if e.cache == nil {
-		return w.simulatePair(m, nc, d1, b2, d2)
+		n := len(cs.spec.Streams)
+		for i, st := range cs.spec.Streams {
+			cs.vec[i] = st.D
+		}
+		copy(cs.vec[n:], b)
+		return w.simulate(cs, cs.vec)
 	}
-	w.vec = [5]int{d1, d2, b2}
-	key := w.keyOf(kindPair, m, 0, nc, 3)
+	key := cs.key(b)
 	if bw, ok := e.cache.get(key); ok {
-		e.hit(kindPair, key)
+		e.hit(cs.counter, key)
 		return bw
 	}
-	bw := w.simulatePair(key.M, key.NC, key.V[0], key.V[2], key.V[1])
-	e.miss(kindPair)
+	bw := w.simulate(cs, cs.vec)
+	e.miss(cs.counter)
 	e.cache.put(key, bw)
 	return bw
 }
 
-// sectionBandwidth resolves one placement of a section pair, through
-// the cache when enabled. Canonicalisation uses only the units
-// congruent to 1 mod s, so the renumbered system has every bank in its
-// original section and the cached steady state transfers exactly.
-func (w *worker) sectionBandwidth(m, s, nc, d1, b2, d2 int) rat.Rational {
-	e := w.e
-	if e.cache == nil {
-		return w.simulateSection(m, s, nc, d1, b2, d2)
-	}
-	w.vec = [5]int{d1, d2, b2}
-	key := w.keyOf(kindSection, m, s, nc, 3)
-	if bw, ok := e.cache.get(key); ok {
-		e.hit(kindSection, key)
-		return bw
-	}
-	bw := w.simulateSection(key.M, key.S, key.NC, key.V[0], key.V[2], key.V[1])
-	e.miss(kindSection)
-	e.cache.put(key, bw)
-	return bw
-}
-
-// tripleBandwidth resolves one placement (0, b2, b3) of a distance
-// triple, through the cache when enabled. The fixed-placement census
-// and the all-placements sweep share these entries: the census is the
-// (b2, b3) = (1, 2) slice of the same orbit space.
-func (w *worker) tripleBandwidth(m, nc int, d [3]int, b2, b3 int) rat.Rational {
-	e := w.e
-	if e.cache == nil {
-		return w.simulateTriple(m, nc, d, b2, b3)
-	}
-	w.vec = [5]int{d[0], d[1], d[2], b2, b3}
-	key := w.keyOf(kindTriple, m, 0, nc, 5)
-	if bw, ok := e.cache.get(key); ok {
-		e.hit(kindTriple, key)
-		return bw
-	}
-	bw := w.simulateTriple(key.M, key.NC, [3]int{key.V[0], key.V[1], key.V[2]}, key.V[3], key.V[4])
-	e.miss(kindTriple)
-	e.cache.put(key, bw)
-	return bw
-}
-
-func (e *Engine) hit(k sweepKind, key cacheKey) {
-	e.hits[k].Add(1)
+func (e *Engine) hit(c *familyCounter, key cacheKey) {
+	c.hits.Add(1)
 	if e.onHit != nil {
 		e.onHit(key)
 	}
 }
 
-func (e *Engine) miss(k sweepKind) { e.misses[k].Add(1) }
+func (e *Engine) miss(c *familyCounter) { c.misses.Add(1) }
 
-func (w *worker) simulatePair(m, nc, d1, b2, d2 int) rat.Rational {
-	sys := w.system(memsys.Config{Banks: m, BankBusy: nc, CPUs: 2})
-	sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, int64(d1)))
-	sys.AddPort(1, "2", memsys.NewInfiniteStrided(int64(b2), int64(d2)))
-	c := w.findCycle(sys, fmt.Sprintf("pair m=%d nc=%d d1=%d d2=%d b2=%d", m, nc, d1, d2, b2))
-	return c.EffectiveBandwidth()
-}
-
-func (w *worker) simulateSection(m, s, nc, d1, b2, d2 int) rat.Rational {
-	sys := w.system(memsys.Config{Banks: m, Sections: s, BankBusy: nc, CPUs: 1})
-	sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, int64(d1)))
-	sys.AddPort(0, "2", memsys.NewInfiniteStrided(int64(b2), int64(d2)))
-	c := w.findCycle(sys, fmt.Sprintf("section pair m=%d s=%d nc=%d (%d,%d,%d)", m, s, nc, d1, b2, d2))
-	return c.EffectiveBandwidth()
-}
-
-func (w *worker) simulateTriple(m, nc int, d [3]int, b2, b3 int) rat.Rational {
-	sys := w.system(memsys.Config{Banks: m, BankBusy: nc, CPUs: 3})
-	sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, int64(d[0])))
-	sys.AddPort(1, "2", memsys.NewInfiniteStrided(int64(b2), int64(d[1])))
-	sys.AddPort(2, "3", memsys.NewInfiniteStrided(int64(b3), int64(d[2])))
-	c := w.findCycle(sys, fmt.Sprintf("triple (%d,%d,%d) b2=%d b3=%d", d[0], d[1], d[2], b2, b3))
+// simulate runs the compiled spec at configuration vector v on the
+// worker's reusable simulator.
+func (w *worker) simulate(cs *compiledSpec, v []int) rat.Rational {
+	sys := w.system(cs.cfg)
+	addSpecStreams(sys, cs.spec, v)
+	c := w.findCycle(sys, describeSpec(cs.spec, v))
 	return c.EffectiveBandwidth()
 }

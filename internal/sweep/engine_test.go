@@ -138,24 +138,28 @@ func TestEngineCollectStats(t *testing.T) {
 	}
 }
 
-// The canonical key is constant on every isomorphism orbit: scaling
-// (d1, d2, b2) by any unit of Z_m lands on the same representative.
+// The canonical key is constant on every isomorphism orbit: composing
+// a unit scaling j -> u·j with any translation j -> j + t (all t are
+// allowed on a sectionless memory) lands on the same representative.
 func TestCanonicalKeyOrbitInvariant(t *testing.T) {
 	w := &worker{e: NewEngine(Options{})}
-	pairKey := func(m, d1, d2, b2 int) cacheKey {
-		w.vec = [5]int{d1, d2, b2}
-		return w.keyOf(kindPair, m, 0, 4, 3)
+	pairKey := func(m, d1, d2, b1, b2 int) cacheKey {
+		cs := w.compile(PairSpec(m, 4, d1, d2))
+		return cs.key([]int{b1, b2})
 	}
 	for _, m := range []int{5, 12, 16} {
 		units := modmath.Units(m)
 		for d1 := 0; d1 < m; d1++ {
 			for d2 := 0; d2 < m; d2 += 3 {
 				for b2 := 0; b2 < m; b2 += 5 {
-					want := pairKey(m, d1, d2, b2)
+					want := pairKey(m, d1, d2, 0, b2)
 					for _, u := range units {
-						got := pairKey(m, u*d1, u*d2, u*b2)
-						if got != want {
-							t.Fatalf("m=%d (%d,%d,%d) scaled by %d: key %+v != %+v", m, d1, d2, b2, u, got, want)
+						for tr := 0; tr < m; tr += 4 {
+							got := pairKey(m, u*d1, u*d2, tr, u*b2+tr)
+							if got != want {
+								t.Fatalf("m=%d (%d,%d;0,%d) under u=%d t=%d: key %+v != %+v",
+									m, d1, d2, b2, u, tr, got, want)
+							}
 						}
 					}
 				}
@@ -164,17 +168,21 @@ func TestCanonicalKeyOrbitInvariant(t *testing.T) {
 	}
 }
 
-// Triple keys are constant on orbits of the 5-vector (d1, d2, d3, b2,
-// b3); section keys only under the section-fixing subgroup.
+// Triple keys are constant on affine orbits of (d1,d2,d3; b1,b2,b3);
+// section keys under the full unit group composed with translations by
+// multiples of s by default, and only under the section-fixing
+// subgroup when Options.SectionFullUnits is pointed at false.
 func TestCanonicalKeyOrbitInvariantTripleAndSection(t *testing.T) {
 	w := &worker{e: NewEngine(Options{})}
+	off := false
+	wSub := &worker{e: NewEngine(Options{SectionFullUnits: &off})}
 	tripleKey := func(m, d1, d2, d3, b2, b3 int) cacheKey {
-		w.vec = [5]int{d1, d2, d3, b2, b3}
-		return w.keyOf(kindTriple, m, 0, 2, 5)
+		cs := w.compile(TripleSpec(m, 2, [3]int{d1, d2, d3}))
+		return cs.key([]int{0, b2, b3})
 	}
-	sectionKey := func(m, s, d1, d2, b2 int) cacheKey {
-		w.vec = [5]int{d1, d2, b2}
-		return w.keyOf(kindSection, m, s, 2, 3)
+	sectionKey := func(wk *worker, m, s, d1, d2, b1, b2 int) cacheKey {
+		cs := wk.compile(SectionPairSpec(m, s, 2, d1, d2))
+		return cs.key([]int{b1, b2})
 	}
 	for _, m := range []int{8, 12} {
 		for d1 := 0; d1 < m; d1 += 2 {
@@ -188,11 +196,20 @@ func TestCanonicalKeyOrbitInvariantTripleAndSection(t *testing.T) {
 						}
 					}
 					s := 4
-					wantS := sectionKey(m, s, d1, d2, b2)
+					wantFull := sectionKey(w, m, s, d1, d2, 0, b2)
+					for _, u := range modmath.Units(m) {
+						for tr := 0; tr < m; tr += s {
+							if got := sectionKey(w, m, s, u*d1, u*d2, tr, u*b2+tr); got != wantFull {
+								t.Fatalf("m=%d s=%d (%d,%d;0,%d) under u=%d t=%d: %+v != %+v",
+									m, s, d1, d2, b2, u, tr, got, wantFull)
+							}
+						}
+					}
+					wantSub := sectionKey(wSub, m, s, d1, d2, 0, b2)
 					for _, u := range modmath.UnitsFixing(m, s) {
-						if got := sectionKey(m, s, u*d1, u*d2, u*b2); got != wantS {
-							t.Fatalf("m=%d s=%d (%d,%d,%d) scaled by %d: %+v != %+v",
-								m, s, d1, d2, b2, u, got, wantS)
+						if got := sectionKey(wSub, m, s, u*d1, u*d2, 0, u*b2); got != wantSub {
+							t.Fatalf("m=%d s=%d subgroup (%d,%d,%d) scaled by %d: %+v != %+v",
+								m, s, d1, d2, b2, u, got, wantSub)
 						}
 					}
 				}

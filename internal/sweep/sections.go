@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"ivm/internal/core"
-	"ivm/internal/memsys"
 	"ivm/internal/rat"
 	"ivm/internal/stream"
 	"ivm/internal/textplot"
@@ -31,34 +30,20 @@ type SectionPairResult struct {
 	Agree bool
 }
 
-// sectionBWFunc computes the cyclic-state bandwidth of one placement
-// of a section pair (one CPU, two ports, s | m sections).
-type sectionBWFunc func(m, s, nc, d1, b2, d2 int) rat.Rational
-
-// sectionSimulateOnce is the cold path: a fresh system per placement.
-func sectionSimulateOnce(m, s, nc, d1, b2, d2 int) rat.Rational {
-	sys := memsys.New(memsys.Config{Banks: m, Sections: s, BankBusy: nc, CPUs: 1})
-	sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, int64(d1)))
-	sys.AddPort(0, "2", memsys.NewInfiniteStrided(int64(b2), int64(d2)))
-	c, err := sys.FindCycle(findCycleBudget)
-	if err != nil {
-		panic(fmt.Sprintf("sweep: section pair m=%d s=%d nc=%d (%d,%d,%d): %v", m, s, nc, d1, b2, d2, err))
-	}
-	return c.EffectiveBandwidth()
-}
-
-// SweepSectionPair sweeps all relative starts of one pair.
+// SweepSectionPair sweeps all relative starts of one pair. The
+// bandwidth resolver is the cold spec path; the engine substitutes the
+// memo cache with the section-respecting canonicalisation pipeline.
 func SweepSectionPair(m, s, nc, d1, d2 int) SectionPairResult {
-	return sweepSectionPairWith(m, s, nc, d1, d2, sectionSimulateOnce)
+	return sweepSectionPairWith(m, s, nc, d1, d2, coldTwoStreamBW(SectionPairSpec(m, s, nc, d1, d2)))
 }
 
-func sweepSectionPairWith(m, s, nc, d1, d2 int, bw sectionBWFunc) SectionPairResult {
+func sweepSectionPairWith(m, s, nc, d1, d2 int, bw func(b2 int) rat.Rational) SectionPairResult {
 	res := SectionPairResult{M: m, S: s, NC: nc, D1: d1, D2: d2, Agree: true}
 	res.TheoryFree, res.TheoryStart = core.SectionConflictFree(m, s, nc, d1, d2)
 	two := rat.New(2, 1)
 	s1 := stream.Infinite(m, 0, d1)
 	for b2 := 0; b2 < m; b2++ {
-		free := bw(m, s, nc, d1, b2, d2).Equal(two)
+		free := bw(b2).Equal(two)
 		res.SimStarts++
 		if free {
 			res.SimFreeStarts++
@@ -74,7 +59,7 @@ func sweepSectionPairWith(m, s, nc, d1, d2 int, bw sectionBWFunc) SectionPairRes
 		}
 	}
 	// The constructed start must simulate conflict free.
-	if res.TheoryFree && !bw(m, s, nc, d1, res.TheoryStart, d2).Equal(two) {
+	if res.TheoryFree && !bw(res.TheoryStart).Equal(two) {
 		res.Agree = false
 	}
 	return res

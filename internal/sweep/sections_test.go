@@ -53,8 +53,9 @@ func TestSectionGridContainsFig7(t *testing.T) {
 
 // Engine.SectionGrid must stay byte-identical to SectionGrid for any
 // worker count and cache configuration — the section cache only ever
-// collapses placements that are provably isomorphic under the
-// section-fixing unit subgroup.
+// collapses placements that are isomorphic under the section pipeline
+// (full unit group by default, validated by the section-units
+// differential campaign).
 func TestEngineSectionGridByteIdenticalToSequential(t *testing.T) {
 	for _, g := range []struct{ m, s, nc int }{{12, 3, 3}, {8, 2, 2}} {
 		seq := SectionGrid(g.m, g.s, g.nc)
@@ -80,18 +81,19 @@ func TestEngineSectionGridByteIdenticalToSequential(t *testing.T) {
 // is nontrivial, and must account its traffic in the section counters
 // only.
 func TestEngineSectionGridCacheAccounting(t *testing.T) {
-	// UnitsFixing(16, 4) = {1, 5, 9, 13}: plenty of nontrivial orbits.
+	// Units(16) has eight elements: plenty of nontrivial orbits.
 	eng := NewEngine(Options{Workers: 2})
 	eng.SectionGrid(16, 4, 4)
 	m := eng.Metrics()
-	if m.SectionCacheHits == 0 {
+	sf := m.Family("section")
+	if sf.Hits == 0 {
 		t.Fatal("sectioned 16-bank grid never hit the cache")
 	}
-	if m.SectionCacheMisses != m.CyclesFound {
-		t.Fatalf("section misses %d != cycles found %d", m.SectionCacheMisses, m.CyclesFound)
+	if sf.Misses != m.CyclesFound {
+		t.Fatalf("section misses %d != cycles found %d", sf.Misses, m.CyclesFound)
 	}
-	if m.PairCacheHits+m.PairCacheMisses+m.TripleCacheHits+m.TripleCacheMisses != 0 {
-		t.Fatalf("section sweep leaked into other kind counters: %+v", m)
+	if len(m.Families) != 1 {
+		t.Fatalf("section sweep leaked into other family counters: %+v", m.Families)
 	}
 	if hr := m.SectionHitRate(); hr <= 0 || hr >= 1 {
 		t.Fatalf("section hit rate %v out of (0,1)", hr)
@@ -99,6 +101,61 @@ func TestEngineSectionGridCacheAccounting(t *testing.T) {
 	snap := eng.Snapshot()
 	if snap.SectionCacheHitRate != m.SectionHitRate() || snap.PairCacheHitRate != 0 {
 		t.Fatalf("snapshot per-kind rates inconsistent: %+v", snap)
+	}
+}
+
+// The section-units campaign (test half of `ivmablate -study
+// section-units`): on every EXPERIMENTS.md section grid, the cold
+// sequential sweep, the default full-unit-group engine and the engine
+// restricted to the conservative u ≡ 1 (mod s) subgroup must agree
+// result-for-result, and the full group must hit the cache at least as
+// often as the subgroup.
+func TestSectionUnitsCampaign(t *testing.T) {
+	for _, g := range []struct{ m, s, nc int }{
+		{12, 2, 2}, {12, 3, 3}, {16, 4, 4}, {8, 2, 2},
+	} {
+		cold := SectionGrid(g.m, g.s, g.nc)
+		// One worker each: concurrent workers can both miss the same key
+		// (results identical, counters noisy), and the hit-rate comparison
+		// below needs deterministic counters.
+		full := NewEngine(Options{Workers: 1})
+		off := false
+		sub := NewEngine(Options{Workers: 1, SectionFullUnits: &off})
+		if got := full.SectionGrid(g.m, g.s, g.nc); !reflect.DeepEqual(cold, got) {
+			t.Fatalf("m=%d s=%d nc=%d: full-unit engine differs from cold sweep", g.m, g.s, g.nc)
+		}
+		if got := sub.SectionGrid(g.m, g.s, g.nc); !reflect.DeepEqual(cold, got) {
+			t.Fatalf("m=%d s=%d nc=%d: subgroup engine differs from cold sweep", g.m, g.s, g.nc)
+		}
+		if fh, sh := full.Metrics().SectionHitRate(), sub.Metrics().SectionHitRate(); fh < sh {
+			t.Fatalf("m=%d s=%d nc=%d: full group hit rate %.3f below subgroup %.3f",
+				g.m, g.s, g.nc, fh, sh)
+		}
+	}
+}
+
+// The randomised half of the campaign: seeded random sectioned pairs
+// through both canonicalisation groups against the cold sweep.
+func TestSectionUnitsCampaignRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(19850806))
+	full := NewEngine(Options{Workers: 2})
+	off := false
+	sub := NewEngine(Options{Workers: 2, SectionFullUnits: &off})
+	for trial := 0; trial < 40; trial++ {
+		m := 2 + rng.Intn(15)
+		divs := modmath.Divisors(m)
+		s := divs[rng.Intn(len(divs))]
+		nc := 1 + rng.Intn(4)
+		d1, d2 := rng.Intn(m), rng.Intn(m)
+		cold := SweepSectionPair(m, s, nc, d1, d2)
+		if got := full.SweepSectionPair(m, s, nc, d1, d2); !reflect.DeepEqual(cold, got) {
+			t.Fatalf("trial %d m=%d s=%d nc=%d (%d,%d): full-unit engine differs from cold sweep",
+				trial, m, s, nc, d1, d2)
+		}
+		if got := sub.SweepSectionPair(m, s, nc, d1, d2); !reflect.DeepEqual(cold, got) {
+			t.Fatalf("trial %d m=%d s=%d nc=%d (%d,%d): subgroup engine differs from cold sweep",
+				trial, m, s, nc, d1, d2)
+		}
 	}
 }
 

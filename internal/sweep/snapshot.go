@@ -28,6 +28,9 @@ type Snapshot struct {
 	PairCacheHitRate    float64 `json:"pair_cache_hit_rate"`
 	TripleCacheHitRate  float64 `json:"triple_cache_hit_rate"`
 	SectionCacheHitRate float64 `json:"section_cache_hit_rate"`
+	// FamilyHitRates carries every configuration family with traffic,
+	// including generic N-stream families that have no flat field above.
+	FamilyHitRates map[string]float64 `json:"family_hit_rates,omitempty"`
 	// WallNS is wall time spent inside sweep calls; CycleDetectNS the
 	// part spent in steady-state detection (summed across workers, so
 	// it can exceed WallNS on a multi-core sweep).
@@ -55,6 +58,12 @@ func (e *Engine) Snapshot() Snapshot {
 		SectionCacheHitRate: m.SectionHitRate(),
 		WallNS:              e.wallNS.Load(),
 		CycleDetectNS:       e.cycleNS.Load(),
+	}
+	for name := range m.Families {
+		if s.FamilyHitRates == nil {
+			s.FamilyHitRates = make(map[string]float64)
+		}
+		s.FamilyHitRates[name] = m.FamilyHitRate(name)
 	}
 	if m.CyclesFound > 0 {
 		s.MeanCycleClocks = float64(m.StepsSimulated) / float64(m.CyclesFound)

@@ -1,0 +1,416 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+
+	"ivm/internal/core"
+	"ivm/internal/memsys"
+	"ivm/internal/rat"
+	"ivm/internal/stream"
+	"ivm/internal/textplot"
+)
+
+// The generic N-stream configuration specification. The paper's model
+// is one machine with p ports, so stride pairs, stride triples and the
+// sectioned Theorem 8/9 pairs are all the same object at different N
+// and CPU layouts; ConfigSpec expresses that object directly, and one
+// engine path (worker.bw) sweeps, canonicalises and caches every
+// family through it. The pair/triple/section sweep entry points are
+// kept as thin result-shaping layers over this spec — their tables are
+// byte-identical to the pre-spec implementation, which the golden
+// tests under testdata/ pin.
+
+// Stream is one access stream of a ConfigSpec: stride D issued from
+// CPU, starting at bank B. When Sweep is set, grid sweeps iterate the
+// start over all m banks instead of holding B fixed.
+type Stream struct {
+	D     int
+	B     int
+	CPU   int
+	Sweep bool
+}
+
+// ConfigSpec describes an N-stream configuration of an (m, s, n_c)
+// interleaved memory: M banks, S sections (0 means sectionless, i.e.
+// one section per bank), bank busy time NC, and one Stream per port in
+// priority order. The spec is the unit of caching: its family, memory
+// shape, CPU layout and canonicalised (d_1..d_N, b_1..b_N) vector form
+// the cache key.
+type ConfigSpec struct {
+	M, S, NC int
+	Streams  []Stream
+}
+
+// Validate checks the spec against the memory system's invariants.
+func (c ConfigSpec) Validate() error {
+	if c.M <= 0 {
+		return fmt.Errorf("spec: %d banks", c.M)
+	}
+	if c.NC <= 0 {
+		return fmt.Errorf("spec: bank busy time %d", c.NC)
+	}
+	if c.S < 0 {
+		return fmt.Errorf("spec: %d sections", c.S)
+	}
+	if c.S > 0 && c.M%c.S != 0 {
+		return fmt.Errorf("spec: sections %d must divide banks %d", c.S, c.M)
+	}
+	if len(c.Streams) == 0 {
+		return fmt.Errorf("spec: no streams")
+	}
+	for i, st := range c.Streams {
+		if st.CPU < 0 {
+			return fmt.Errorf("spec: stream %d on CPU %d", i+1, st.CPU)
+		}
+	}
+	return nil
+}
+
+// Family names the spec's configuration family — the string that keys
+// the per-family cache counters and, together with the CPU layout,
+// partitions the cache. The three historical families keep their
+// names: "pair" (two sectionless streams on CPUs 0 and 1), "triple"
+// (three sectionless streams on CPUs 0, 1, 2) and "section" (two
+// streams of one CPU against a sectioned memory). Other shapes derive
+// "streamN" / "sectionN" names from the stream count.
+func (c ConfigSpec) Family() string {
+	n := len(c.Streams)
+	if c.S == 0 {
+		if n == 2 && c.Streams[0].CPU == 0 && c.Streams[1].CPU == 1 {
+			return "pair"
+		}
+		if n == 3 && c.Streams[0].CPU == 0 && c.Streams[1].CPU == 1 && c.Streams[2].CPU == 2 {
+			return "triple"
+		}
+		return "stream" + strconv.Itoa(n)
+	}
+	if n == 2 && c.Streams[0].CPU == 0 && c.Streams[1].CPU == 0 {
+		return "section"
+	}
+	return "section" + strconv.Itoa(n)
+}
+
+// PairSpec is the sectionless two-stream family: stream 1 fixed at
+// bank 0 on CPU 0, stream 2 swept on CPU 1 — the configuration of the
+// Theorem 2–7 cross-validation grid.
+func PairSpec(m, nc, d1, d2 int) ConfigSpec {
+	return ConfigSpec{M: m, NC: nc, Streams: []Stream{
+		{D: d1, CPU: 0},
+		{D: d2, CPU: 1, Sweep: true},
+	}}
+}
+
+// SectionPairSpec is the sectioned two-stream family of the Theorem
+// 8/9 sweeps: both streams on CPU 0, stream 2 swept, s | m sections.
+func SectionPairSpec(m, s, nc, d1, d2 int) ConfigSpec {
+	return ConfigSpec{M: m, S: s, NC: nc, Streams: []Stream{
+		{D: d1, CPU: 0},
+		{D: d2, CPU: 0, Sweep: true},
+	}}
+}
+
+// TripleSpec is the sectionless three-stream family with stream 1
+// fixed at bank 0 and streams 2 and 3 swept over all m^2 relative
+// placements.
+func TripleSpec(m, nc int, d [3]int) ConfigSpec {
+	return ConfigSpec{M: m, NC: nc, Streams: []Stream{
+		{D: d[0], CPU: 0},
+		{D: d[1], CPU: 1, Sweep: true},
+		{D: d[2], CPU: 2, Sweep: true},
+	}}
+}
+
+// TripleCensusSpec is the fixed-placement three-stream census
+// configuration: all three starts held at b. Placements that are
+// translates of one another canonicalise to the same cache key, so a
+// census at (t, 1+t, 2+t) reuses the cyclic states of the standard
+// (0, 1, 2) census.
+func TripleCensusSpec(m, nc int, d, b [3]int) ConfigSpec {
+	return ConfigSpec{M: m, NC: nc, Streams: []Stream{
+		{D: d[0], B: b[0], CPU: 0},
+		{D: d[1], B: b[1], CPU: 1},
+		{D: d[2], B: b[2], CPU: 2},
+	}}
+}
+
+// NStreamSpec generalises PairSpec/TripleSpec to N sectionless
+// streams, one per CPU: stream 1 fixed at bank 0, the rest swept.
+func NStreamSpec(m, nc int, d []int) ConfigSpec {
+	streams := make([]Stream, len(d))
+	for i, di := range d {
+		streams[i] = Stream{D: di, CPU: i, Sweep: i > 0}
+	}
+	return ConfigSpec{M: m, NC: nc, Streams: streams}
+}
+
+// --- Simulation ---------------------------------------------------------
+
+// specConfig derives the memory-system configuration: the spec's
+// memory shape plus one CPU per distinct issuing CPU index.
+func specConfig(spec ConfigSpec) memsys.Config {
+	cpus := 1
+	for _, st := range spec.Streams {
+		if st.CPU+1 > cpus {
+			cpus = st.CPU + 1
+		}
+	}
+	return memsys.Config{Banks: spec.M, Sections: spec.S, BankBusy: spec.NC, CPUs: cpus}
+}
+
+// streamLabel names stream i in tables and traces ("1", "2", …).
+func streamLabel(i int) string {
+	return strconv.Itoa(i + 1)
+}
+
+// addSpecStreams attaches the spec's streams for the configuration
+// vector v = (d_1..d_N, b_1..b_N) — which may be a canonical orbit
+// representative rather than the spec's literal placements.
+func addSpecStreams(sys *memsys.System, spec ConfigSpec, v []int) {
+	n := len(spec.Streams)
+	var buf [4]memsys.StreamSpec
+	ports := buf[:0]
+	for i, st := range spec.Streams {
+		ports = append(ports, memsys.StreamSpec{
+			Start: v[n+i], Distance: v[i], CPU: st.CPU, Label: streamLabel(i),
+		})
+	}
+	sys.AddStreams(ports...)
+}
+
+// describeSpec labels one placement for steady-state panic messages.
+func describeSpec(spec ConfigSpec, v []int) string {
+	return fmt.Sprintf("%s m=%d s=%d nc=%d v=%v", spec.Family(), spec.M, spec.S, spec.NC, v)
+}
+
+// simulateSpecVec is the cold path shared by every sequential sweep: a
+// fresh system per placement, simulating configuration vector v.
+func simulateSpecVec(spec ConfigSpec, v []int) rat.Rational {
+	sys := memsys.New(specConfig(spec))
+	addSpecStreams(sys, spec, v)
+	c, err := sys.FindCycle(findCycleBudget)
+	if err != nil {
+		panic(fmt.Sprintf("sweep: %s: %v", describeSpec(spec, v), err))
+	}
+	return c.EffectiveBandwidth()
+}
+
+// coldSpecBW adapts simulateSpecVec to a start-vector resolver with
+// the spec's own distances, for the sequential family sweeps.
+func coldSpecBW(spec ConfigSpec) func(b []int) rat.Rational {
+	n := len(spec.Streams)
+	v := make([]int, 2*n)
+	for i, st := range spec.Streams {
+		v[i] = st.D
+	}
+	return func(b []int) rat.Rational {
+		copy(v[n:], b)
+		return simulateSpecVec(spec, v)
+	}
+}
+
+// coldTwoStreamBW is coldSpecBW shaped for the pair/section sweep
+// loops: stream 1 at its fixed start, stream 2 at b2.
+func coldTwoStreamBW(spec ConfigSpec) func(b2 int) rat.Rational {
+	bw := coldSpecBW(spec)
+	b := make([]int, 2)
+	b[0] = spec.Streams[0].B
+	return func(b2 int) rat.Rational {
+		b[1] = b2
+		return bw(b)
+	}
+}
+
+// --- The generic sweep --------------------------------------------------
+
+// SpecResult compares the simulated cyclic states of one ConfigSpec —
+// over every placement of its swept streams — with the per-placement
+// capacity bounds of core.MultiStreamBound; the N-stream analogue of
+// TripleSweepResult.
+type SpecResult struct {
+	Spec ConfigSpec
+	// SimMin/SimMax are the extreme cyclic-state bandwidths over the
+	// swept placements.
+	SimMin, SimMax rat.Rational
+	// BoundMin/BoundMax are the extreme per-placement capacity bounds.
+	BoundMin, BoundMax rat.Rational
+	// Starts is how many placements were simulated (m^k for k swept
+	// streams).
+	Starts int
+	// TightStarts counts placements whose simulated bandwidth attains
+	// their capacity bound exactly.
+	TightStarts int
+	// Violations counts placements whose simulated bandwidth exceeds
+	// their capacity bound — always zero unless the simulator or the
+	// bound is wrong.
+	Violations int
+}
+
+// specBound is the aggregate capacity bound of one placement.
+func specBound(spec ConfigSpec, b []int) rat.Rational {
+	sets := make([]core.StreamSet, len(spec.Streams))
+	for i, st := range spec.Streams {
+		sets[i] = core.StreamSet{Stream: stream.Infinite(spec.M, b[i], st.D), CPU: st.CPU}
+	}
+	return core.MultiStreamBound(spec.M, spec.S, spec.NC, sets)
+}
+
+// sweepSpecWith enumerates every placement of the spec's swept streams
+// (each over [0, m), nested in stream order) and folds the bandwidths
+// bw reports against the capacity bounds.
+func sweepSpecWith(spec ConfigSpec, bw func(b []int) rat.Rational) SpecResult {
+	res := SpecResult{Spec: spec}
+	b := make([]int, len(spec.Streams))
+	for i, st := range spec.Streams {
+		b[i] = st.B
+	}
+	first := true
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(spec.Streams) {
+			v := bw(b)
+			bound := specBound(spec, b)
+			if first || v.Cmp(res.SimMin) < 0 {
+				res.SimMin = v
+			}
+			if first || v.Cmp(res.SimMax) > 0 {
+				res.SimMax = v
+			}
+			if first || bound.Cmp(res.BoundMin) < 0 {
+				res.BoundMin = bound
+			}
+			if first || bound.Cmp(res.BoundMax) > 0 {
+				res.BoundMax = bound
+			}
+			first = false
+			res.Starts++
+			switch v.Cmp(bound) {
+			case 0:
+				res.TightStarts++
+			case 1:
+				res.Violations++
+			}
+			return
+		}
+		if !spec.Streams[i].Sweep {
+			rec(i + 1)
+			return
+		}
+		for s := 0; s < spec.M; s++ {
+			b[i] = s
+			rec(i + 1)
+		}
+		b[i] = spec.Streams[i].B
+	}
+	rec(0)
+	return res
+}
+
+// SweepSpec sweeps one ConfigSpec sequentially (cold simulation per
+// placement). Engine.SweepSpec is the parallel, cached equivalent and
+// returns byte-identical results.
+func SweepSpec(spec ConfigSpec) SpecResult {
+	if err := spec.Validate(); err != nil {
+		panic("sweep: " + err.Error())
+	}
+	return sweepSpecWith(spec, coldSpecBW(spec))
+}
+
+// nStreamDistances enumerates the nondecreasing distance N-tuples of
+// the N-stream grid in sweep order, skipping self-conflicting streams
+// (return number < n_c) exactly as gridPairs does.
+func nStreamDistances(m, nc, n int) [][]int {
+	var allowed []int
+	for d := 0; d < m; d++ {
+		if stream.ReturnNumber(m, d) >= nc {
+			allowed = append(allowed, d)
+		}
+	}
+	var out [][]int
+	tuple := make([]int, n)
+	var rec func(i, lo int)
+	rec = func(i, lo int) {
+		if i == n {
+			out = append(out, append([]int(nil), tuple...))
+			return
+		}
+		for j := lo; j < len(allowed); j++ {
+			tuple[i] = allowed[j]
+			rec(i+1, j)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+// NStreamGrid sweeps every nondecreasing non-self-conflicting distance
+// N-tuple of an (m, n_c) memory, one stream per CPU, over all m^(N-1)
+// relative placements. For N = 2 and 3 the specs fall into the "pair"
+// and "triple" cache families, so the cyclic states are shared with
+// the dedicated grids. Sequential reference path; Engine.NStreamGrid
+// is the parallel, cached equivalent.
+func NStreamGrid(m, nc, n int) []SpecResult {
+	specs := nStreamSpecs(m, nc, n)
+	out := make([]SpecResult, len(specs))
+	for i, spec := range specs {
+		out[i] = SweepSpec(spec)
+	}
+	return out
+}
+
+func nStreamSpecs(m, nc, n int) []ConfigSpec {
+	ds := nStreamDistances(m, nc, n)
+	specs := make([]ConfigSpec, len(ds))
+	for i, d := range ds {
+		specs[i] = NStreamSpec(m, nc, d)
+	}
+	return specs
+}
+
+// SpecTable renders an N-stream grid sweep as an aligned text table;
+// all results must share one stream count.
+func SpecTable(results []SpecResult) string {
+	if len(results) == 0 {
+		return ""
+	}
+	n := len(results[0].Spec.Streams)
+	header := make([]string, 0, n+4)
+	for i := 0; i < n; i++ {
+		header = append(header, "d"+strconv.Itoa(i+1))
+	}
+	header = append(header, "bound", "sim min", "sim max", "tight")
+	t := &textplot.Table{Header: header}
+	row := make([]any, 0, n+4)
+	for _, r := range results {
+		row = row[:0]
+		for _, st := range r.Spec.Streams {
+			row = append(row, st.D)
+		}
+		bound := r.BoundMax.String()
+		if !r.BoundMin.Equal(r.BoundMax) {
+			bound = r.BoundMin.String() + ".." + r.BoundMax.String()
+		}
+		row = append(row, bound, r.SimMin.String(), r.SimMax.String(),
+			fmt.Sprintf("%d/%d", r.TightStarts, r.Starts))
+		t.Add(row...)
+	}
+	return t.String()
+}
+
+// SummariseSpecGrid reduces an N-stream grid sweep.
+func SummariseSpecGrid(results []SpecResult) TripleGridSummary {
+	var s TripleGridSummary
+	s.Triples = len(results)
+	if len(results) > 0 {
+		s.M, s.NC = results[0].Spec.M, results[0].Spec.NC
+	}
+	for _, r := range results {
+		s.Starts += r.Starts
+		s.TightStarts += r.TightStarts
+		s.Violations += r.Violations
+		if r.TightStarts > 0 {
+			s.TightSomewhere++
+		}
+	}
+	return s
+}

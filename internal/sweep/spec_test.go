@@ -1,0 +1,347 @@
+package sweep
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ivm/internal/modmath"
+)
+
+func TestSpecFamily(t *testing.T) {
+	cases := []struct {
+		spec ConfigSpec
+		want string
+	}{
+		{PairSpec(8, 2, 1, 2), "pair"},
+		{TripleSpec(8, 2, [3]int{1, 2, 3}), "triple"},
+		{TripleCensusSpec(8, 2, [3]int{1, 2, 3}, [3]int{0, 1, 2}), "triple"},
+		{SectionPairSpec(12, 3, 3, 1, 2), "section"},
+		{NStreamSpec(8, 2, []int{1, 2, 3, 4}), "stream4"},
+		// Two sectionless streams on one CPU are not the historical
+		// pair shape (two CPUs): they must not share its cache family.
+		{ConfigSpec{M: 8, NC: 2, Streams: []Stream{{D: 1}, {D: 2}}}, "stream2"},
+		{ConfigSpec{M: 8, S: 2, NC: 2, Streams: []Stream{{D: 1}, {D: 2}, {D: 3}}}, "section3"},
+	}
+	for _, c := range cases {
+		if got := c.spec.Family(); got != c.want {
+			t.Errorf("Family(%+v) = %q, want %q", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := PairSpec(8, 2, 1, 2)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []ConfigSpec{
+		{M: 0, NC: 1, Streams: []Stream{{D: 1}}},
+		{M: 8, NC: 0, Streams: []Stream{{D: 1}}},
+		{M: 8, S: 3, NC: 1, Streams: []Stream{{D: 1}}}, // 3 does not divide 8
+		{M: 8, NC: 1}, // no streams
+		{M: 8, NC: 1, Streams: []Stream{{D: 1, CPU: -1}}},
+	}
+	for _, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("invalid spec accepted: %+v", spec)
+		}
+	}
+}
+
+// The generic sweep over a pair spec must report the same simulated
+// range as the dedicated pair sweep — they enumerate the same
+// placements of the same streams.
+func TestSweepSpecMatchesPairSweep(t *testing.T) {
+	pair := SweepPair(8, 2, 1, 2)
+	spec := SweepSpec(PairSpec(8, 2, 1, 2))
+	if !spec.SimMin.Equal(pair.SimMin) || !spec.SimMax.Equal(pair.SimMax) || spec.Starts != pair.Starts {
+		t.Fatalf("generic %+v != pair sweep %+v", spec, pair)
+	}
+	triple := SweepTriple(6, 2, [3]int{1, 2, 3})
+	tspec := SweepSpec(TripleSpec(6, 2, [3]int{1, 2, 3}))
+	if !tspec.SimMin.Equal(triple.SimMin) || !tspec.SimMax.Equal(triple.SimMax) ||
+		!tspec.BoundMin.Equal(triple.BoundMin) || !tspec.BoundMax.Equal(triple.BoundMax) ||
+		tspec.Starts != triple.Starts || tspec.TightStarts != triple.TightStarts {
+		t.Fatalf("generic %+v != triple sweep %+v", tspec, triple)
+	}
+}
+
+// Engine.SweepSpec must be indistinguishable from the sequential
+// SweepSpec across spec shapes, worker counts and cache configurations.
+func TestEngineSweepSpecMatchesSequential(t *testing.T) {
+	specs := []ConfigSpec{
+		PairSpec(8, 2, 2, 6),
+		SectionPairSpec(12, 3, 2, 1, 4),
+		TripleSpec(5, 2, [3]int{1, 2, 3}),
+		NStreamSpec(4, 1, []int{1, 1, 2, 3}),
+		// A sectioned three-stream shape no legacy family covers.
+		{M: 8, S: 2, NC: 2, Streams: []Stream{
+			{D: 1, CPU: 0}, {D: 2, CPU: 0, Sweep: true}, {D: 2, CPU: 1, Sweep: true},
+		}},
+	}
+	for _, spec := range specs {
+		seq := SweepSpec(spec)
+		for _, opt := range []Options{
+			{Workers: 1, CacheSize: -1},
+			{Workers: 4},
+		} {
+			eng := NewEngine(opt)
+			par := eng.SweepSpec(spec)
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("spec %+v opts %+v: engine %+v != sequential %+v", spec, opt, par, seq)
+			}
+		}
+		if seq.Violations != 0 {
+			t.Fatalf("spec %+v: %d capacity-bound violations", spec, seq.Violations)
+		}
+	}
+}
+
+// The two-stream N-stream grid is the pair grid in generic clothing:
+// same distance tuples in the same order, same placements, and —
+// because both compile into the "pair" cache family — a second pass
+// through NStreamGrid must be answered entirely from the cache.
+func TestNStreamGridSharesPairCache(t *testing.T) {
+	eng := NewEngine(Options{Workers: 2})
+	pairs := eng.Grid(8, 2)
+	missesAfterGrid := eng.Metrics().Family("pair").Misses
+	results := eng.NStreamGrid(8, 2, 2)
+	if len(results) != len(pairs) {
+		t.Fatalf("N-stream grid has %d tuples, pair grid %d", len(results), len(pairs))
+	}
+	for i, r := range results {
+		p := pairs[i]
+		if r.Spec.Streams[0].D != p.D1 || r.Spec.Streams[1].D != p.D2 {
+			t.Fatalf("row %d: tuple (%d,%d) != pair (%d,%d)",
+				i, r.Spec.Streams[0].D, r.Spec.Streams[1].D, p.D1, p.D2)
+		}
+		if !r.SimMin.Equal(p.SimMin) || !r.SimMax.Equal(p.SimMax) || r.Starts != p.Starts {
+			t.Fatalf("tuple (%d,%d): generic [%s,%s] != pair sweep [%s,%s]",
+				p.D1, p.D2, r.SimMin, r.SimMax, p.SimMin, p.SimMax)
+		}
+	}
+	m := eng.Metrics()
+	if len(m.Families) != 1 || m.Families["pair"].Hits == 0 {
+		t.Fatalf("expected all traffic in the pair family: %+v", m.Families)
+	}
+	if got := m.Families["pair"].Misses; got != missesAfterGrid {
+		t.Fatalf("N-stream pass missed the cache %d times; every placement was already cached",
+			got-missesAfterGrid)
+	}
+}
+
+// The four-stream grid (a p=4 configuration, one stream per CPU) must
+// produce a valid sweep: full placement coverage, no capacity-bound
+// violations, traffic accounted under the stream4 family, and a
+// rendered table.
+func TestEngineNStreamGridFourStreams(t *testing.T) {
+	eng := NewEngine(Options{Workers: 4})
+	results := eng.NStreamGrid(4, 1, 4)
+	if len(results) == 0 {
+		t.Fatal("empty four-stream grid")
+	}
+	for _, r := range results {
+		if r.Starts != 4*4*4 {
+			t.Fatalf("tuple %+v: %d placements, want 64", r.Spec, r.Starts)
+		}
+		if r.Violations != 0 {
+			t.Fatalf("tuple %+v: %d capacity-bound violations", r.Spec, r.Violations)
+		}
+		if r.SimMin.Cmp(r.SimMax) > 0 || r.SimMax.Cmp(r.BoundMax) > 0 {
+			t.Fatalf("tuple %+v: inconsistent range sim [%s,%s] bound [%s,%s]",
+				r.Spec, r.SimMin, r.SimMax, r.BoundMin, r.BoundMax)
+		}
+	}
+	m := eng.Metrics()
+	if len(m.Families) != 1 || m.Families["stream4"].Hits == 0 {
+		t.Fatalf("expected cached traffic in the stream4 family: %+v", m.Families)
+	}
+	out := SpecTable(results)
+	for _, col := range []string{"d1", "d4", "bound", "sim min", "tight"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("table missing %q:\n%s", col, out)
+		}
+	}
+	if s := SummariseSpecGrid(results); s.Violations != 0 || s.Starts == 0 {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+// A census at translated starts (t, 1+t, 2+t) is the standard census
+// seen through the translation isomorphism: the engine must answer it
+// entirely from the standard census's cache entries, and the values
+// must match a cold simulation of the translated placements.
+func TestTriplesAtTranslationReuse(t *testing.T) {
+	eng := NewEngine(Options{Workers: 2})
+	base := eng.Triples(6, 2)
+	m0 := eng.Metrics().Family("triple")
+	shifted := eng.TriplesAt(6, 2, [3]int{3, 4, 5})
+	m1 := eng.Metrics().Family("triple")
+	if m1.Misses != m0.Misses {
+		t.Fatalf("translated census missed the cache %d times; translation orbits should collapse it",
+			m1.Misses-m0.Misses)
+	}
+	if m1.Hits <= m0.Hits {
+		t.Fatal("translated census produced no cache hits")
+	}
+	cold := SweepTriplesAt(6, 2, [3]int{3, 4, 5})
+	if !reflect.DeepEqual(shifted, cold) {
+		t.Fatal("cached translated census differs from cold simulation")
+	}
+	for i := range base {
+		if !base[i].Bandwidth.Equal(shifted[i].Bandwidth) {
+			t.Fatalf("triple %v: bandwidth %s at (0,1,2) but %s at (3,4,5)",
+				base[i].D, base[i].Bandwidth, shifted[i].Bandwidth)
+		}
+	}
+}
+
+// Metrics JSON must keep the legacy flat fields (even when zero), carry
+// generic families, and round-trip exactly.
+func TestMetricsJSONGenericFamilies(t *testing.T) {
+	m := Metrics{
+		CacheHits: 12, CacheMisses: 5,
+		Families: map[string]FamilyMetrics{
+			"pair":    {Hits: 10, Misses: 3},
+			"stream4": {Hits: 2, Misses: 2},
+		},
+		CacheEntries: 4, CyclesFound: 5, StepsSimulated: 100, PairsSwept: 3,
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"cache_hits":12`, `"pair_cache_hits":10`, `"triple_cache_hits":0`,
+		`"section_cache_misses":0`, `"stream4_cache_hits":2`, `"pairs_swept":3`,
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("marshal missing %s: %s", want, data)
+		}
+	}
+	var back Metrics
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, back) {
+		t.Fatalf("round trip %+v != %+v", back, m)
+	}
+}
+
+// randSpec draws a random multi-stream spec for the canonicalisation
+// fuzz/property tests: 2..4 streams, random section count dividing m,
+// random CPU layout.
+func randSpec(rng *rand.Rand) ConfigSpec {
+	m := 2 + rng.Intn(15)
+	divs := modmath.Divisors(m)
+	s := 0
+	if rng.Intn(2) == 0 {
+		s = divs[rng.Intn(len(divs))]
+	}
+	n := 2 + rng.Intn(3)
+	streams := make([]Stream, n)
+	for i := range streams {
+		streams[i] = Stream{D: rng.Intn(m), B: rng.Intn(m), CPU: rng.Intn(n)}
+	}
+	return ConfigSpec{M: m, S: s, NC: 1 + rng.Intn(4), Streams: streams}
+}
+
+// specKeyTransformInvariant asserts the compiled key of spec at its own
+// starts equals the key of the affinely transformed configuration
+// (distances and starts scaled by u, starts shifted by t).
+func specKeyTransformInvariant(t *testing.T, w *worker, spec ConfigSpec, u, shift int) {
+	t.Helper()
+	cs := w.compile(spec)
+	b := make([]int, len(spec.Streams))
+	for i, st := range spec.Streams {
+		b[i] = st.B
+	}
+	want := cs.key(b)
+
+	moved := spec
+	moved.Streams = append([]Stream(nil), spec.Streams...)
+	bm := make([]int, len(b))
+	for i := range moved.Streams {
+		moved.Streams[i].D = modmath.Mod(u*moved.Streams[i].D, spec.M)
+		bm[i] = modmath.Mod(u*b[i]+shift, spec.M)
+		moved.Streams[i].B = bm[i]
+	}
+	csm := w.compile(moved)
+	if got := csm.key(bm); got != want {
+		t.Fatalf("spec %+v under u=%d t=%d: key %+v != %+v", spec, u, shift, got, want)
+	}
+	// Idempotence: canonicalising the canonical vector is a fixed point.
+	vec := append([]int(nil), cs.vec...)
+	cs.canon.Canonicalize(vec, len(spec.Streams))
+	if !reflect.DeepEqual(vec, cs.vec) {
+		t.Fatalf("spec %+v: canonical vector %v not a fixed point (-> %v)", spec, cs.vec, vec)
+	}
+}
+
+// allowedTransforms draws a unit and a translation legal for the
+// spec's section structure under the engine's options.
+func allowedTransforms(rng *rand.Rand, spec ConfigSpec, fullUnits bool) (u, shift int) {
+	step := 1
+	if spec.S > 1 {
+		step = spec.S
+	}
+	fix := 1
+	if spec.S > 1 && !fullUnits {
+		fix = spec.S
+	}
+	units := modmath.UnitsFixing(spec.M, fix)
+	return units[rng.Intn(len(units))], step * rng.Intn(spec.M/step)
+}
+
+// The compiled cache key is constant on affine orbits for every spec
+// shape, not just the legacy families — seeded property test.
+func TestSpecKeyOrbitInvariantRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(19850805))
+	w := &worker{e: NewEngine(Options{})}
+	off := false
+	wSub := &worker{e: NewEngine(Options{SectionFullUnits: &off})}
+	for trial := 0; trial < 300; trial++ {
+		spec := randSpec(rng)
+		u, shift := allowedTransforms(rng, spec, true)
+		specKeyTransformInvariant(t, w, spec, u, shift)
+		uSub, shiftSub := allowedTransforms(rng, spec, false)
+		specKeyTransformInvariant(t, wSub, spec, uSub, shiftSub)
+	}
+}
+
+// FuzzSpecCanonical drives the same property from fuzz inputs: the
+// canonical key is orbit-invariant and canonicalisation idempotent for
+// arbitrary spec shapes.
+func FuzzSpecCanonical(f *testing.F) {
+	f.Add(uint8(11), uint8(1), uint8(2), uint8(3), uint8(7), uint8(2))
+	f.Add(uint8(15), uint8(4), uint8(3), uint8(1), uint8(3), uint8(9))
+	f.Add(uint8(5), uint8(0), uint8(1), uint8(2), uint8(1), uint8(0))
+	f.Fuzz(func(t *testing.T, mRaw, sRaw, nRaw, seedRaw, uRaw, shiftRaw uint8) {
+		m := 2 + int(mRaw)%15
+		divs := modmath.Divisors(m)
+		s := 0
+		if sRaw%2 == 0 {
+			s = divs[int(sRaw/2)%len(divs)]
+		}
+		n := 2 + int(nRaw)%3
+		rng := rand.New(rand.NewSource(int64(seedRaw)))
+		streams := make([]Stream, n)
+		for i := range streams {
+			streams[i] = Stream{D: rng.Intn(m), B: rng.Intn(m), CPU: rng.Intn(n)}
+		}
+		spec := ConfigSpec{M: m, S: s, NC: 1 + int(seedRaw)%4, Streams: streams}
+
+		step := 1
+		if s > 1 {
+			step = s
+		}
+		units := modmath.Units(m)
+		u := units[int(uRaw)%len(units)]
+		shift := step * (int(shiftRaw) % (m / step))
+		w := &worker{e: NewEngine(Options{})}
+		specKeyTransformInvariant(t, w, spec, u, shift)
+	})
+}

@@ -6,10 +6,7 @@
 package sweep
 
 import (
-	"fmt"
-
 	"ivm/internal/core"
-	"ivm/internal/memsys"
 	"ivm/internal/rat"
 	"ivm/internal/stream"
 	"ivm/internal/textplot"
@@ -31,25 +28,22 @@ type PairResult struct {
 	Agree bool
 }
 
-// bwFunc computes the cyclic-state bandwidth of one relative start of
-// a pair; the sequential path simulates cold, the engine's workers go
-// through the memo cache and a reused per-worker system.
-type bwFunc func(m, nc, d1, b2, d2 int) rat.Rational
-
 // SweepPair simulates all m relative starts of the pair and checks the
-// analytic verdict.
+// analytic verdict. The bandwidth resolver is the cold spec path; the
+// engine's workers substitute the memo cache and a reused per-worker
+// system.
 func SweepPair(m, nc, d1, d2 int) PairResult {
-	return sweepPairWith(m, nc, d1, d2, simulateOnce)
+	return sweepPairWith(m, nc, d1, d2, coldTwoStreamBW(PairSpec(m, nc, d1, d2)))
 }
 
-func sweepPairWith(m, nc, d1, d2 int, bw bwFunc) PairResult {
+func sweepPairWith(m, nc, d1, d2 int, bw func(b2 int) rat.Rational) PairResult {
 	a := core.Analyze(m, nc, d1, d2)
 	res := PairResult{M: m, NC: nc, D1: d1, D2: d2, Analysis: a}
 	first := true
 	attained := false
 	allMatch := true
 	for b2 := 0; b2 < m; b2++ {
-		v := bw(m, nc, d1, b2, d2)
+		v := bw(b2)
 		if first || v.Cmp(res.SimMin) < 0 {
 			res.SimMin = v
 		}
@@ -79,17 +73,6 @@ func sweepPairWith(m, nc, d1, d2 int, bw bwFunc) PairResult {
 		res.Agree = attained
 	}
 	return res
-}
-
-func simulateOnce(m, nc, b1d1 int, b2, d2 int) rat.Rational {
-	sys := memsys.New(memsys.Config{Banks: m, BankBusy: nc, CPUs: 2})
-	sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, int64(b1d1)))
-	sys.AddPort(1, "2", memsys.NewInfiniteStrided(int64(b2), int64(d2)))
-	c, err := sys.FindCycle(findCycleBudget)
-	if err != nil {
-		panic(fmt.Sprintf("sweep: m=%d nc=%d d1=%d d2=%d b2=%d: %v", m, nc, b1d1, d2, b2, err))
-	}
-	return c.EffectiveBandwidth()
 }
 
 // gridPairs lists the distance pairs Grid sweeps, in sweep order: both

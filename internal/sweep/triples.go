@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"ivm/internal/core"
-	"ivm/internal/memsys"
 	"ivm/internal/rat"
 	"ivm/internal/stream"
 	"ivm/internal/textplot"
@@ -36,11 +35,6 @@ type TripleResult struct {
 	BoundTight bool
 }
 
-// tripleBWFunc computes the cyclic-state bandwidth of one placement
-// (0, b2, b3) of a distance triple; the sequential path simulates
-// cold, the engine's workers go through the memo cache.
-type tripleBWFunc func(m, nc int, d [3]int, b2, b3 int) rat.Rational
-
 // tripleList enumerates the unordered distance triples in sweep order.
 func tripleList(m int) [][3]int {
 	var out [][3]int
@@ -54,34 +48,32 @@ func tripleList(m int) [][3]int {
 	return out
 }
 
-// tripleSimulateOnce is the cold path: a fresh 3-CPU system per
-// placement.
-func tripleSimulateOnce(m, nc int, d [3]int, b2, b3 int) rat.Rational {
-	sys := memsys.New(memsys.Config{Banks: m, BankBusy: nc, CPUs: 3})
-	sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, int64(d[0])))
-	sys.AddPort(1, "2", memsys.NewInfiniteStrided(int64(b2), int64(d[1])))
-	sys.AddPort(2, "3", memsys.NewInfiniteStrided(int64(b3), int64(d[2])))
-	c, err := sys.FindCycle(findCycleBudget)
-	if err != nil {
-		panic(fmt.Sprintf("sweep: triple (%d,%d,%d) b2=%d b3=%d: %v", d[0], d[1], d[2], b2, b3, err))
+// coldTripleBW adapts simulateSpecVec to the triple sweep loops:
+// stream 1 at its fixed start, streams 2 and 3 at (b2, b3).
+func coldTripleBW(spec ConfigSpec) func(b2, b3 int) rat.Rational {
+	bw := coldSpecBW(spec)
+	b := make([]int, 3)
+	b[0] = spec.Streams[0].B
+	return func(b2, b3 int) rat.Rational {
+		b[1], b[2] = b2, b3
+		return bw(b)
 	}
-	return c.EffectiveBandwidth()
 }
 
 // tripleBound is the aggregate capacity bound of one placement; it
 // depends on the starts because the union of access sets does.
-func tripleBound(m, nc int, d [3]int, b2, b3 int) rat.Rational {
+func tripleBound(m, nc int, d, b [3]int) rat.Rational {
 	return core.MultiStreamBound(m, 0, nc, []core.StreamSet{
-		{Stream: stream.Infinite(m, 0, d[0]), CPU: 0},
-		{Stream: stream.Infinite(m, b2, d[1]), CPU: 1},
-		{Stream: stream.Infinite(m, b3, d[2]), CPU: 2},
+		{Stream: stream.Infinite(m, b[0], d[0]), CPU: 0},
+		{Stream: stream.Infinite(m, b[1], d[1]), CPU: 1},
+		{Stream: stream.Infinite(m, b[2], d[2]), CPU: 2},
 	})
 }
 
 // tripleFrom packages one measured fixed-placement triple against its
-// capacity bound.
-func tripleFrom(m, nc int, d [3]int, bw rat.Rational) TripleResult {
-	bound := tripleBound(m, nc, d, 1, 2)
+// capacity bound at placement b.
+func tripleFrom(m, nc int, d, b [3]int, bw rat.Rational) TripleResult {
+	bound := tripleBound(m, nc, d, b)
 	return TripleResult{
 		M: m, NC: nc, D: d,
 		Bandwidth: bw, Bound: bound,
@@ -95,10 +87,19 @@ func tripleFrom(m, nc int, d [3]int, bw rat.Rational) TripleResult {
 // reference path; Engine.Triples is the parallel equivalent. For the
 // all-placements sweep see TripleGrid.
 func SweepTriples(m, nc int) []TripleResult {
+	return SweepTriplesAt(m, nc, [3]int{0, 1, 2})
+}
+
+// SweepTriplesAt runs the fixed-placement census at an arbitrary start
+// placement b — sequentially and cold; Engine.TriplesAt is the cached
+// equivalent, where placements translate-equivalent to an earlier
+// census replay its cyclic states from the cache.
+func SweepTriplesAt(m, nc int, b [3]int) []TripleResult {
 	triples := tripleList(m)
 	out := make([]TripleResult, len(triples))
 	for i, d := range triples {
-		out[i] = tripleFrom(m, nc, d, tripleSimulateOnce(m, nc, d, 1, 2))
+		bw := coldTripleBW(TripleCensusSpec(m, nc, d, b))
+		out[i] = tripleFrom(m, nc, d, b, bw(b[1], b[2]))
 	}
 	return out
 }
@@ -157,16 +158,16 @@ type TripleSweepResult struct {
 // Sequential reference path; Engine.SweepTriple is the parallel,
 // cached equivalent and returns byte-identical results.
 func SweepTriple(m, nc int, d [3]int) TripleSweepResult {
-	return sweepTripleWith(m, nc, d, tripleSimulateOnce)
+	return sweepTripleWith(m, nc, d, coldTripleBW(TripleSpec(m, nc, d)))
 }
 
-func sweepTripleWith(m, nc int, d [3]int, bw tripleBWFunc) TripleSweepResult {
+func sweepTripleWith(m, nc int, d [3]int, bw func(b2, b3 int) rat.Rational) TripleSweepResult {
 	res := TripleSweepResult{M: m, NC: nc, D: d}
 	first := true
 	for b2 := 0; b2 < m; b2++ {
 		for b3 := 0; b3 < m; b3++ {
-			v := bw(m, nc, d, b2, b3)
-			bound := tripleBound(m, nc, d, b2, b3)
+			v := bw(b2, b3)
+			bound := tripleBound(m, nc, d, [3]int{0, b2, b3})
 			if first || v.Cmp(res.SimMin) < 0 {
 				res.SimMin = v
 			}

@@ -46,15 +46,16 @@ func TestEngineTripleGridHitRate(t *testing.T) {
 	for _, r := range results {
 		starts += int64(r.Starts)
 	}
-	if m.TripleCacheHits+m.TripleCacheMisses != starts {
+	tf := m.Family("triple")
+	if tf.Hits+tf.Misses != starts {
 		t.Fatalf("triple hits %d + misses %d != %d placements",
-			m.TripleCacheHits, m.TripleCacheMisses, starts)
+			tf.Hits, tf.Misses, starts)
 	}
 	if hr := m.TripleHitRate(); hr < 0.5 {
 		t.Fatalf("triple hit rate %.2f below the 0.5 acceptance floor", hr)
 	}
-	if m.PairCacheHits+m.PairCacheMisses != 0 || m.SectionCacheHits+m.SectionCacheMisses != 0 {
-		t.Fatalf("triple sweep leaked into other kind counters: %+v", m)
+	if len(m.Families) != 1 {
+		t.Fatalf("triple sweep leaked into other family counters: %+v", m.Families)
 	}
 	if s := SummariseTripleGrid(7, 2, results); s.Violations != 0 {
 		t.Fatalf("%d capacity-bound violations", s.Violations)
@@ -82,7 +83,7 @@ func TestDifferentialRandomTriples(t *testing.T) {
 				trial, m, nc, d, seq.Violations)
 		}
 	}
-	if eng.Metrics().TripleCacheHits == 0 {
+	if eng.Metrics().Family("triple").Hits == 0 {
 		t.Fatal("random triples never hit the cache; canonicalisation is not collapsing orbits")
 	}
 }

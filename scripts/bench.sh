@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Sweep-engine benchmark harness: runs the sequential/parallel sweep
-# benchmarks (pair, triple and section grids) with allocation stats and
-# distils the result into a machine-readable BENCH_sweep.json next to
-# the repo root.
+# benchmarks (pair, triple, section and generic N-stream grids, plus
+# the translated triple census) with allocation stats and distils the
+# result into a machine-readable BENCH_sweep.json next to the repo
+# root. Cache hit rates are reported per family, keyed by the engine's
+# family strings ("pair", "triple", "section", "stream4", ...); the
+# legacy top-level pair/triple/section keys are preserved.
 #
 # Usage: scripts/bench.sh [count]
 #   count  -benchtime iteration override, e.g. "10x" (default: 1s timed)
@@ -14,7 +17,7 @@ out="BENCH_sweep.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkSweep(Sequential|Parallel|TriplesSequential|TriplesParallel|SectionsSequential|SectionsParallel)$' \
+go test -run '^$' -bench 'BenchmarkSweep(Sequential|Parallel|TriplesSequential|TriplesParallel|SectionsSequential|SectionsParallel|TripleCensusTranslated|NStreamParallel)$' \
 	-benchmem -benchtime "$benchtime" . | tee "$raw"
 
 # Benchmark lines look like:
@@ -22,6 +25,8 @@ go test -run '^$' -bench 'BenchmarkSweep(Sequential|Parallel|TriplesSequential|T
 #   BenchmarkSweepParallel-8           9  120ms/op  98.2 cache_hit_%  3.3 speedup_vs_seq ...
 #   BenchmarkSweepTriplesParallel-8    2  900ms/op  69.5 triple_cache_hit_%  2.1 speedup_vs_seq ...
 #   BenchmarkSweepSectionsParallel-8   5  150ms/op  44.0 section_cache_hit_%  1.8 speedup_vs_seq ...
+#   BenchmarkSweepTripleCensusTranslated-8  1  150ms/op  0 census_cache_hit_%  100.0 translated_census_hit_%
+#   BenchmarkSweepNStreamParallel-8    1  26ms/op  17.7 stream4_cache_hit_%
 awk -v benchtime="$benchtime" '
 function metric(name,   i) {
 	for (i = 3; i < NF; i++) {
@@ -50,8 +55,14 @@ function metric(name,   i) {
 	s_par_ns = metric("ns/op")
 	s_hit = metric("section_cache_hit_%"); s_speedup = metric("speedup_vs_seq")
 }
+/^BenchmarkSweepTripleCensusTranslated/ {
+	c_base = metric("census_cache_hit_%"); c_translated = metric("translated_census_hit_%")
+}
+/^BenchmarkSweepNStreamParallel/ {
+	ns_hit = metric("stream4_cache_hit_%")
+}
 END {
-	if (seq_ns == "" || par_ns == "" || t_par_ns == "" || s_par_ns == "") {
+	if (seq_ns == "" || par_ns == "" || t_par_ns == "" || s_par_ns == "" || c_base == "" || ns_hit == "") {
 		print "bench.sh: missing benchmark output" > "/dev/stderr"; exit 1
 	}
 	printf "{\n"
@@ -73,6 +84,17 @@ END {
 	printf "    \"parallel\": {\"ns_per_op\": %s},\n", s_par_ns
 	printf "    \"cache_hit_rate_percent\": %s,\n", s_hit
 	printf "    \"speedup_vs_sequential\": %s\n", s_speedup
+	printf "  },\n"
+	printf "  \"triple_census\": {\n"
+	printf "    \"cache_hit_rate_percent\": %s,\n", c_base
+	printf "    \"translated_cache_hit_rate_percent\": %s,\n", c_translated
+	printf "    \"translation_orbit_hit_delta_percent\": %s\n", c_translated - c_base
+	printf "  },\n"
+	printf "  \"family_cache_hit_rate_percent\": {\n"
+	printf "    \"pair\": %s,\n", hit
+	printf "    \"triple\": %s,\n", t_hit
+	printf "    \"section\": %s,\n", s_hit
+	printf "    \"stream4\": %s\n", ns_hit
 	printf "  },\n"
 	printf "  \"cache_hit_rate_percent\": %s,\n", hit
 	printf "  \"speedup_vs_sequential\": %s\n", speedup

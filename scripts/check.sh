@@ -31,7 +31,8 @@ go vet "$@"
 # docs step: every exported identifier in the audited packages must
 # carry a doc comment, and every relative Markdown link must resolve.
 go run ./internal/tools/docscheck \
-	internal/sweep internal/modmath internal/obs internal/obs/profile
+	internal/sweep internal/modmath internal/memsys internal/stats \
+	internal/obs internal/obs/profile
 
 go test -race "$@"
 go test -race ./internal/obs/...
