@@ -15,6 +15,7 @@ import (
 	"ivm/internal/figures"
 	"ivm/internal/machine"
 	"ivm/internal/memsys"
+	"ivm/internal/obs"
 	"ivm/internal/randaccess"
 	"ivm/internal/skew"
 	"ivm/internal/stream"
@@ -299,6 +300,34 @@ func BenchmarkSweepNStreamParallel(b *testing.B) {
 		hitRate = eng.Metrics().FamilyHitRate("stream4")
 	}
 	b.ReportMetric(hitRate*100, "stream4_cache_hit_%")
+}
+
+// Per-cycle conflict composition of the Fig. 3 barrier, the
+// observability layer's reference config: the phase histogram's
+// per-kind totals over one steady-state period. bench.sh distils
+// these metrics into the conflict_composition block of
+// BENCH_sweep.json, so the perf trajectory also tracks what the
+// conflicts are, not just how fast the sweeps run.
+func BenchmarkPhaseHistogram(b *testing.B) {
+	cfg := memsys.Config{Banks: 13, BankBusy: 6, CPUs: 2}
+	specs := []memsys.StreamSpec{
+		{Start: 0, Distance: 1, CPU: 0},
+		{Start: 0, Distance: 6, CPU: 1},
+	}
+	var h obs.PhaseHistogram
+	for i := 0; i < b.N; i++ {
+		var err error
+		h, _, err = obs.TracePhaseHistogram(cfg, specs, 1<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	tot := h.Totals()
+	b.ReportMetric(float64(tot.Grants), "grants")
+	b.ReportMetric(float64(tot.Bank), "bank_conflicts")
+	b.ReportMetric(float64(tot.Simultaneous), "simultaneous_conflicts")
+	b.ReportMetric(float64(tot.Section), "section_conflicts")
+	b.ReportMetric(float64(h.CycleLength), "cycle_clocks")
 }
 
 // Theorems 4-7 / Eq. 29: every unique-barrier pair of the 16-bank

@@ -3,6 +3,12 @@
 // CPUs for a uniform access environment), bank-skewing schemes on the
 // full machine model, the elementary-kernel stride sweeps, and the
 // classical random-access baselines the introduction contrasts with.
+//
+// Observability: -metrics-out writes the engine studies' counters as
+// JSON, -metrics-addr serves them live (/metrics JSON, expvar, pprof)
+// while the studies run, and -trace-out exports the sweep workers'
+// timeline as a Chrome trace_event file for chrome://tracing or
+// Perfetto.
 package main
 
 import (
@@ -27,6 +33,8 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep worker goroutines for the engine studies; 0 selects GOMAXPROCS")
 	cache := flag.Int("cache", sweep.DefaultCacheSize, "cyclic-state cache entries for the engine studies, shared by pair, triple and section sweeps; negative disables")
 	metricsOut := flag.String("metrics-out", "", "write the engine studies' metrics snapshot as JSON")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address: /metrics JSON, /debug/vars expvar, /debug/pprof")
+	traceOut := flag.String("trace-out", "", "write the engine studies' worker timeline as Chrome trace_event JSON (open in chrome://tracing or Perfetto)")
 	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -38,12 +46,35 @@ func main() {
 
 	cfg := machine.DefaultConfig()
 	ran := false
+	var timeline *sweep.Timeline
+	if *traceOut != "" {
+		timeline = sweep.NewTimeline(0)
+	}
 	var eng *sweep.Engine
 	engine := func() *sweep.Engine {
 		if eng == nil {
-			eng = sweep.NewEngine(sweep.Options{Workers: *workers, CacheSize: *cache})
+			eng = sweep.NewEngine(sweep.Options{Workers: *workers, CacheSize: *cache, Timeline: timeline})
 		}
 		return eng
+	}
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		// The engine is created lazily by the first engine study, so the
+		// source resolves it on every poll.
+		reg.Register("engine", func() any {
+			if eng == nil {
+				return nil
+			}
+			return eng.Snapshot()
+		})
+		reg.Publish("ivmablate")
+		addr, closer, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer closer.Close()
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", addr)
 	}
 	if *study == "pairs" || *study == "all" {
 		pairs(engine())
@@ -88,6 +119,22 @@ func main() {
 		if err := obs.WriteSnapshotFile(*metricsOut, obs.Snapshot{Engine: &snap}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = obs.WriteWorkerTrace(f, timeline.Events())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if d := timeline.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "warning: worker timeline dropped %d events past its capacity\n", d)
 		}
 	}
 	if err := stop(); err != nil {

@@ -7,8 +7,10 @@
 // The grid sweeps run on the parallel sweep engine (-workers/-cache);
 // the report is byte-identical to the sequential path apart from the
 // appended engine-counter section. -metrics-out captures the engine
-// snapshot (cache hit rate, per-worker utilisation) as JSON, and the
-// shared -cpuprofile/-memprofile/-trace flags profile the run.
+// snapshot (cache hit rate, per-worker utilisation) as JSON,
+// -metrics-addr serves it live (/metrics JSON, expvar, pprof) while
+// the report generates, and the shared -cpuprofile/-memprofile/-trace
+// flags profile the run.
 package main
 
 import (
@@ -27,6 +29,7 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep worker goroutines; 0 selects GOMAXPROCS")
 	cache := flag.Int("cache", sweep.DefaultCacheSize, "cyclic-state cache entries, shared by pair, triple and section sweeps; negative disables caching")
 	metricsOut := flag.String("metrics-out", "", "write the engine metrics snapshot as JSON to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address: /metrics JSON, /debug/vars expvar, /debug/pprof")
 	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -41,6 +44,17 @@ func main() {
 	}
 	eng := sweep.NewEngine(sweep.Options{Workers: *workers, CacheSize: *cache})
 	opts.Engine = eng
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		reg.Register("engine", func() any { return eng.Snapshot() })
+		reg.Publish("ivmreport")
+		addr, closer, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			fail(err)
+		}
+		defer closer.Close()
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", addr)
+	}
 
 	if err := report.Write(os.Stdout, opts); err != nil {
 		stop()

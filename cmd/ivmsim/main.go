@@ -9,8 +9,11 @@
 //
 // Observability: -trace-out exports the timeline window as a Chrome
 // trace_event file (chrome://tracing, Perfetto), -csv-out as a CSV
-// timeline, -strip prints the bank-occupancy strip chart, and
-// -metrics-out writes the statistics and trace totals as JSON.
+// timeline (the ring's window; -csv-stream streams the whole run
+// losslessly), -strip prints the bank-occupancy strip chart,
+// -phase-hist prints the per-cycle conflict phase histogram of the
+// steady state (-phase-csv exports it), and -metrics-out writes the
+// statistics, trace totals and phase histogram as JSON.
 // -cpuprofile/-memprofile/-trace profile the run itself.
 package main
 
@@ -44,8 +47,11 @@ func main() {
 	statsClocks := flag.Int64("statsclocks", 2048, "clocks to gather statistics over")
 	traceOut := flag.String("trace-out", "", "write the timeline window as Chrome trace_event JSON (open in chrome://tracing or Perfetto)")
 	csvOut := flag.String("csv-out", "", "write the timeline window as a CSV event timeline")
+	csvStream := flag.String("csv-stream", "", "stream the whole timeline run to this CSV file losslessly (not bounded by the trace ring)")
 	stripFlag := flag.Bool("strip", false, "print the timeline window's bank-occupancy strip chart")
-	metricsOut := flag.String("metrics-out", "", "write statistics and trace totals as a JSON metrics snapshot")
+	phaseHist := flag.Bool("phase-hist", false, "print the steady-state cycle's conflict phase histogram (grants/conflicts by clock phase and bank)")
+	phaseCSV := flag.String("phase-csv", "", "write the phase histogram as CSV (phase x bank, long form)")
+	metricsOut := flag.String("metrics-out", "", "write statistics, trace totals and the phase histogram as a JSON metrics snapshot")
 	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -83,16 +89,39 @@ func main() {
 	sys := memsys.New(cfg)
 	rec := trace.Attach(sys, 0, *clocks)
 	var tracer *obs.Tracer
+	var stream *obs.CSVStream
+	var streamFile *os.File
+	listeners := obs.Tee{rec}
 	if *traceOut != "" || *csvOut != "" || *stripFlag || *metricsOut != "" {
 		// The tracer shares the listener seam with the timeline
 		// recorder, observing the same window.
 		tracer = obs.NewTracer(obs.TracerOptions{})
-		sys.SetListener(obs.Tee{rec, tracer})
+		listeners = append(listeners, tracer)
+	}
+	if *csvStream != "" {
+		// The streaming exporter writes rows as they happen, so the run
+		// is exported losslessly even past the tracer's ring capacity.
+		if streamFile, err = os.Create(*csvStream); err != nil {
+			fail("%v", err)
+		}
+		stream = obs.NewCSVStream(streamFile, obs.StreamOptions{})
+		listeners = append(listeners, stream)
+	}
+	if len(listeners) > 1 {
+		sys.SetListener(listeners)
 	}
 	for i, sp := range specs {
 		sys.AddPort(sp.CPU, fmt.Sprintf("%d", i+1), memsys.NewInfiniteStrided(int64(sp.Start), int64(sp.Distance)))
 	}
 	sys.Run(*clocks)
+	if stream != nil {
+		if err := stream.Close(); err != nil {
+			fail("csv stream: %v", err)
+		}
+		if err := streamFile.Close(); err != nil {
+			fail("csv stream: %v", err)
+		}
+	}
 	if *s != 0 && *s != *m {
 		fmt.Print(rec.RenderWithSections(sys.Section))
 	} else {
@@ -121,6 +150,26 @@ func main() {
 	if *analyze && len(specs) == 2 && (*s == 0 || *s == *m) {
 		a := core.Analyze(*m, *nc, specs[0].Distance, specs[1].Distance)
 		fmt.Printf("\nanalytic verdict: %s\n%s\n", a, a.Note)
+	}
+
+	var phist *obs.PhaseHistogram
+	if *phaseHist || *phaseCSV != "" || *metricsOut != "" {
+		h, _, err := obs.TracePhaseHistogram(cfg, specs, 1<<22)
+		if err != nil {
+			fail("phase histogram: %v", err)
+		}
+		phist = &h
+	}
+	if *phaseHist {
+		fmt.Println()
+		fmt.Print(phist.Render())
+	}
+	if *phaseCSV != "" {
+		if err := writeFile(*phaseCSV, func(w *os.File) error {
+			return obs.WritePhaseCSV(w, *phist)
+		}); err != nil {
+			fail("%v", err)
+		}
 	}
 
 	var col *stats.Collector
@@ -156,6 +205,10 @@ func main() {
 			}); err != nil {
 				fail("%v", err)
 			}
+			if d := tracer.Stats().Dropped; d > 0 {
+				fmt.Fprintf(os.Stderr,
+					"warning: trace ring wrapped, -csv-out lost the oldest %d events; -csv-stream exports losslessly\n", d)
+			}
 		}
 		if *stripFlag {
 			fmt.Println()
@@ -172,6 +225,7 @@ func main() {
 			ts := tracer.Stats()
 			snap.Trace = &ts
 		}
+		snap.PhaseHistogram = phist
 		if err := obs.WriteSnapshotFile(*metricsOut, snap); err != nil {
 			fail("%v", err)
 		}

@@ -8,14 +8,17 @@
 // (The engine-counter footer is diagnostic: concurrent workers can
 // both miss the same cache key, so its counts may vary by a few.)
 //
-// Observability: -trace-out exports the cycle search of one pair
-// (-trace-pair) as a Chrome trace_event file for chrome://tracing or
-// Perfetto, -csv-out the same window as CSV, -strip prints its
-// bank-occupancy strip chart; -metrics-out writes a JSON snapshot of
-// the engine counters (cache hit rate, per-worker utilisation) and
-// -metrics-addr serves them live (plus expvar and pprof) while the
-// sweep runs. -cpuprofile/-memprofile/-trace write pprof/runtime
-// profiles of the whole run.
+// Observability: -trace-out exports a combined Chrome trace_event
+// file for chrome://tracing or Perfetto — the sweep engine's worker
+// timeline (work-item slices, cache hit/miss instants, simulation and
+// canonicalisation spans) alongside the cycle search of one reference
+// pair (-trace-pair); -csv-out writes that pair's window as CSV,
+// -strip prints its bank-occupancy strip chart; -metrics-out writes a
+// JSON snapshot of the engine counters (cache hit rate, per-worker
+// utilisation, and the worker timeline when traced) and -metrics-addr
+// serves them live (plus expvar and pprof) while the sweep runs.
+// -cpuprofile/-memprofile/-trace write pprof/runtime profiles of the
+// whole run.
 package main
 
 import (
@@ -43,7 +46,7 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep worker goroutines; 0 selects GOMAXPROCS")
 	cache := flag.Int("cache", sweep.DefaultCacheSize, "cyclic-state cache entries, shared by pair, triple and section sweeps; negative disables caching")
 	showStats := flag.Bool("stats", false, "collect and print per-bank statistics of the simulated states")
-	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of the traced pair's cycle search (open in chrome://tracing or Perfetto)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of the sweep worker timeline plus the traced pair's cycle search (open in chrome://tracing or Perfetto)")
 	csvOut := flag.String("csv-out", "", "write the traced pair's event timeline as CSV")
 	tracePair := flag.String("trace-pair", "1:2:0", "pair to trace as d1:d2[:b2]")
 	strip := flag.Bool("strip", false, "print the traced pair's bank-occupancy strip chart")
@@ -63,9 +66,13 @@ func main() {
 		fail("%v", err)
 	}
 
+	var timeline *sweep.Timeline
+	if *traceOut != "" {
+		timeline = sweep.NewTimeline(0)
+	}
 	eng := sweep.NewEngine(sweep.Options{
 		Workers: *workers, CacheSize: *cache, CollectStats: *showStats,
-		SectionFullUnits: fullUnits,
+		SectionFullUnits: fullUnits, Timeline: timeline,
 	})
 	if *metricsAddr != "" {
 		reg := obs.NewRegistry()
@@ -98,9 +105,12 @@ func main() {
 		events := tr.Events()
 		if *traceOut != "" {
 			if err := writeFile(*traceOut, func(w *os.File) error {
-				return obs.WriteChromeTrace(w, events, *m, *nc)
+				return obs.WriteCombinedChromeTrace(w, events, *m, *nc, timeline.Events())
 			}); err != nil {
 				fail("%v", err)
+			}
+			if d := timeline.Dropped(); d > 0 {
+				fmt.Fprintf(os.Stderr, "warning: worker timeline dropped %d events past its capacity\n", d)
 			}
 		}
 		if *csvOut != "" {
@@ -109,6 +119,10 @@ func main() {
 			}); err != nil {
 				fail("%v", err)
 			}
+		}
+		if d := tr.Stats().Dropped; d > 0 {
+			fmt.Fprintf(os.Stderr,
+				"warning: trace ring wrapped, the exported window lost the oldest %d events\n", d)
 		}
 		if *strip {
 			fmt.Println()

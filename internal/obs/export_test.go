@@ -146,3 +146,65 @@ func TestStripChartEmptyWindow(t *testing.T) {
 		t.Errorf("empty window rendered %q", got)
 	}
 }
+
+func TestChromeTraceEmptyWindow(t *testing.T) {
+	// An empty window (tracer attached but nothing ran) must still
+	// produce a loadable document: process/bank metadata, no slices.
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace not valid JSON: %v", err)
+	}
+	for _, e := range doc.TraceEvents {
+		if e["ph"] != "M" {
+			t.Errorf("empty window emitted a non-metadata event: %v", e)
+		}
+	}
+	if len(doc.TraceEvents) != 2+4 { // 2 processes + 4 bank threads
+		t.Errorf("%d metadata events, want 6", len(doc.TraceEvents))
+	}
+}
+
+func TestWriteCSVEmptyWindow(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "clock,port,label,cpu,bank,kind,blocker\n" {
+		t.Errorf("empty window wrote %q", buf.String())
+	}
+}
+
+// TestCSVRingWrappedBeforeExport pins the documented truncation
+// boundary of the ring exporter: once the ring wraps, WriteCSV holds
+// exactly the newest capacity rows, the first row is NOT the start of
+// the run, and TraceStats.Dropped accounts for the missing prefix —
+// the lossless alternative is CSVStream (see stream_test.go).
+func TestCSVRingWrappedBeforeExport(t *testing.T) {
+	sys := memsys.New(memsys.Config{Banks: 12, BankBusy: 3, CPUs: 2})
+	tr := Attach(sys, TracerOptions{Capacity: 32})
+	sys.AddPort(0, "1", memsys.NewInfiniteStrided(0, 1))
+	sys.AddPort(1, "2", memsys.NewInfiniteStrided(0, 7))
+	sys.Run(256) // 2 events per clock >> 32
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 32+1 {
+		t.Fatalf("wrapped ring exported %d rows, want capacity 32", len(lines)-1)
+	}
+	firstClock := strings.SplitN(lines[1], ",", 2)[0]
+	if firstClock == "0" {
+		t.Error("export starts at clock 0 despite the wrap")
+	}
+	st := tr.Stats()
+	if st.Dropped != st.Grants+st.Delays-32 {
+		t.Errorf("dropped %d of %d events, ring holds 32", st.Dropped, st.Grants+st.Delays)
+	}
+}

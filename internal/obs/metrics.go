@@ -26,6 +26,10 @@ type Snapshot struct {
 	Stats *stats.Snapshot `json:"stats,omitempty"`
 	// Trace holds the tracer's exact totals for the traced window.
 	Trace *TraceStats `json:"trace,omitempty"`
+	// PhaseHistogram holds the per-cycle conflict phase histogram of a
+	// traced steady state (ivmsim -phase-hist). Readers built before
+	// this field existed ignore it: ReadSnapshot skips unknown keys.
+	PhaseHistogram *PhaseHistogram `json:"phase_histogram,omitempty"`
 }
 
 // WriteSnapshot serialises the snapshot as indented JSON.

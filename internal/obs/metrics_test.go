@@ -39,7 +39,12 @@ func populatedSnapshot(t *testing.T) Snapshot {
 	sys2.Run(128)
 	ts := tr.Stats()
 
-	return Snapshot{Engine: &es, Stats: &cs, Trace: &ts}
+	h, _, err := TracePhaseHistogram(fig3Cfg, fig3Specs, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	return Snapshot{Engine: &es, Stats: &cs, Trace: &ts, PhaseHistogram: &h}
 }
 
 func TestSnapshotJSONRoundTrip(t *testing.T) {
@@ -90,6 +95,71 @@ func TestSnapshotFileRoundTrip(t *testing.T) {
 func TestReadSnapshotRejectsGarbage(t *testing.T) {
 	if _, err := ReadSnapshot(strings.NewReader("not json")); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+// TestReadSnapshotIgnoresUnknownFields pins forward compatibility:
+// a snapshot written by a newer build — unknown sections, unknown keys
+// inside known sections, unknown histogram fields — must decode
+// without error, keeping the fields this build knows.
+func TestReadSnapshotIgnoresUnknownFields(t *testing.T) {
+	in := `{
+	  "engine": {"workers": 2, "future_counter": 7,
+	             "metrics": {"cache_hits": 3, "warp_hits": 9}},
+	  "trace": {"grants": 5, "quantum_flux": true},
+	  "phase_histogram": {"cycle_start": 0, "cycle_length": 2, "banks": 1,
+	                      "phases": [{"grants": 1, "axion": 4}, {}],
+	                      "axion_field": [1, 2, 3]},
+	  "hologram": {"nested": {"deep": 1}}
+	}`
+	s, err := ReadSnapshot(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("future snapshot rejected: %v", err)
+	}
+	if s.Engine == nil || s.Engine.Workers != 2 || s.Engine.Metrics.CacheHits != 3 {
+		t.Errorf("engine section mangled: %+v", s.Engine)
+	}
+	if s.Trace == nil || s.Trace.Grants != 5 {
+		t.Errorf("trace section mangled: %+v", s.Trace)
+	}
+	if s.PhaseHistogram == nil || s.PhaseHistogram.CycleLength != 2 ||
+		len(s.PhaseHistogram.Phases) != 2 || s.PhaseHistogram.Phases[0].Grants != 1 {
+		t.Errorf("phase histogram mangled: %+v", s.PhaseHistogram)
+	}
+}
+
+// TestOldReaderSkipsPhaseHistogram simulates the reverse direction: a
+// build from before the phase_histogram field decodes a current
+// snapshot without error, dropping only what it does not know.
+func TestOldReaderSkipsPhaseHistogram(t *testing.T) {
+	snap := populatedSnapshot(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	// The pre-histogram Snapshot shape.
+	var old struct {
+		Engine *sweep.Snapshot `json:"engine,omitempty"`
+		Stats  *stats.Snapshot `json:"stats,omitempty"`
+		Trace  *TraceStats     `json:"trace,omitempty"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &old); err != nil {
+		t.Fatalf("old reader choked on a new snapshot: %v", err)
+	}
+	if old.Engine == nil || old.Trace == nil || old.Stats == nil {
+		t.Error("old reader lost known sections")
+	}
+	// And its re-encoded output still reads back here.
+	data, err := json.Marshal(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("old snapshot rejected: %v", err)
+	}
+	if back.PhaseHistogram != nil {
+		t.Error("histogram resurrected from an old snapshot")
 	}
 }
 

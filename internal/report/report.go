@@ -12,6 +12,8 @@ import (
 	"ivm/internal/explain"
 	"ivm/internal/figures"
 	"ivm/internal/machine"
+	"ivm/internal/memsys"
+	"ivm/internal/obs"
 	"ivm/internal/randaccess"
 	"ivm/internal/sweep"
 	"ivm/internal/textplot"
@@ -56,6 +58,9 @@ func Write(w io.Writer, opts Options) error {
 	if err := Figures(w); err != nil {
 		return err
 	}
+	if err := PhaseHistograms(w); err != nil {
+		return err
+	}
 	gridsWith(w, opts.Grids, opts.Engine)
 	Triad(w, opts.TriadN)
 	Ablations(w, opts.TriadN/2, opts.MaxInc)
@@ -91,6 +96,43 @@ func Figures(w io.Writer) error {
 	}
 	fmt.Fprint(w, tbl.String())
 	fmt.Fprintln(w)
+	return nil
+}
+
+// PhaseHistograms writes the per-cycle conflict phase histograms of
+// two reference regimes: the Fig. 3 barrier, where the bank conflicts
+// delaying stream 2 recur at fixed phases of the 78-clock cycle, and
+// the Fig. 7 memory with the conflict-free relative start replaced by
+// an even offset, which drops both streams into the same section every
+// clock. The histograms show *when* within the steady-state cycle each
+// conflict kind clusters — the clock-by-clock anatomy behind the
+// figures' b_eff values.
+func PhaseHistograms(w io.Writer) error {
+	fig3 := figures.Fig3()
+	fig7 := figures.Fig7()
+	// Fig. 7's b2 = (n_c+1)·d1 = 3 is what makes it conflict-free; an
+	// even offset puts both same-CPU streams in the same section.
+	conflicted := append([]memsys.StreamSpec(nil), fig7.Streams...)
+	conflicted[1].Start = 2
+	cases := []struct {
+		title   string
+		cfg     memsys.Config
+		streams []memsys.StreamSpec
+	}{
+		{fig3.Title, fig3.Config, fig3.Streams},
+		{"Fig. 7's section-conflict regime (m=12, s=2, nc=2, d1=d2=1, b2=2)", fig7.Config, conflicted},
+	}
+	fmt.Fprintln(w, "## Conflict phase histograms (cycle anatomy)")
+	fmt.Fprintln(w)
+	for _, c := range cases {
+		h, _, err := obs.TracePhaseHistogram(c.cfg, c.streams, 1<<22)
+		if err != nil {
+			return fmt.Errorf("report: phase histogram %s: %w", c.title, err)
+		}
+		fmt.Fprintf(w, "### %s\n\n", c.title)
+		fmt.Fprint(w, h.Render())
+		fmt.Fprintln(w)
+	}
 	return nil
 }
 

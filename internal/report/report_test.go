@@ -15,6 +15,9 @@ func TestWriteFastReport(t *testing.T) {
 		"# Reproduction report",
 		"## Figures 2–9",
 		"Fig. 8a  3/2       3/2",
+		"## Conflict phase histograms",
+		"section-conflict regime",
+		"grants by bank",
 		"## Analytic model vs simulator",
 		"disagreements",
 		"## Fig. 10:",
@@ -42,6 +45,23 @@ func TestWriteFastReport(t *testing.T) {
 				t.Errorf("grid row reports disagreements: %q", line)
 			}
 		}
+	}
+}
+
+func TestPhaseHistogramSectionShowsConflicts(t *testing.T) {
+	var b strings.Builder
+	if err := PhaseHistograms(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// The barrier regime clusters bank conflicts; the shifted Fig. 7
+	// regime shows section conflicts. Both headers carry the cycle
+	// geometry line from PhaseHistogram.Render.
+	if strings.Count(out, "phase histogram: cycle of") != 2 {
+		t.Errorf("want two rendered histograms:\n%s", out)
+	}
+	if !strings.Contains(out, "Barrier-situation") {
+		t.Error("Fig. 3 case missing")
 	}
 }
 

@@ -43,6 +43,11 @@ type Options struct {
 	// simulator and merges them after each sweep (see Stats). Off by
 	// default: per-event collection slows the hot loop.
 	CollectStats bool
+	// Timeline, when non-nil, records what each worker slot is doing
+	// (work-item spans, cache hit/miss instants, canonicalisation and
+	// simulation slices) for Chrome-trace export; nil (the default)
+	// records nothing and costs the hot path nothing.
+	Timeline *Timeline
 	// SectionFullUnits selects the scaling group used to canonicalise
 	// sectioned configurations. When nil or pointing at true (the
 	// default), the full unit group of Z_m is used: a unit u permutes
@@ -371,11 +376,14 @@ func (e *Engine) run(n int, f func(w *worker, i int)) {
 	}
 	start := time.Now()
 	defer func() { e.wallNS.Add(time.Since(start).Nanoseconds()) }()
+	tl := e.opt.Timeline
 	work := func(w *worker, i int) {
 		t0 := time.Now()
+		ts := tl.Start()
 		f(w, i)
 		w.busyNS += time.Since(t0).Nanoseconds()
 		w.items++
+		tl.Slice(w.id, TimelineItem, ts, i, "")
 	}
 	workers := e.workers()
 	if workers > n {
@@ -597,9 +605,12 @@ func (w *worker) flushStats() {
 // findCycle runs steady-state detection on the worker's simulator and
 // accounts for it in the engine counters.
 func (w *worker) findCycle(sys *memsys.System, what string) memsys.Cycle {
+	tl := w.e.opt.Timeline
 	t0 := time.Now()
+	ts := tl.Start()
 	c, err := sys.FindCycle(findCycleBudget)
 	w.e.cycleNS.Add(time.Since(t0).Nanoseconds())
+	tl.Slice(w.id, TimelineFindCycle, ts, -1, "")
 	if err != nil {
 		panic(fmt.Sprintf("sweep: %s: %v", what, err))
 	}
@@ -741,6 +752,7 @@ func (cs *compiledSpec) tripleBW(w *worker) func(b2, b3 int) rat.Rational {
 // placement of the orbit would produce.
 func (w *worker) bw(cs *compiledSpec, b []int) rat.Rational {
 	e := w.e
+	tl := e.opt.Timeline
 	if e.cache == nil {
 		n := len(cs.spec.Streams)
 		for i, st := range cs.spec.Streams {
@@ -749,13 +761,19 @@ func (w *worker) bw(cs *compiledSpec, b []int) rat.Rational {
 		copy(cs.vec[n:], b)
 		return w.simulate(cs, cs.vec)
 	}
+	ts := tl.Start()
 	key := cs.key(b)
+	tl.Slice(w.id, TimelineCanon, ts, -1, cs.family)
 	if bw, ok := e.cache.get(key); ok {
 		e.hit(cs.counter, key)
+		tl.Instant(w.id, TimelineCacheHit, -1, cs.family)
 		return bw
 	}
-	bw := w.simulate(cs, cs.vec)
 	e.miss(cs.counter)
+	tl.Instant(w.id, TimelineCacheMiss, -1, cs.family)
+	ts = tl.Start()
+	bw := w.simulate(cs, cs.vec)
+	tl.Slice(w.id, TimelineSimulate, ts, -1, cs.family)
 	e.cache.put(key, bw)
 	return bw
 }

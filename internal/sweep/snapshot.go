@@ -42,6 +42,12 @@ type Snapshot struct {
 	MeanCycleClocks   float64      `json:"mean_cycle_clocks"`
 	MeanCycleDetectNS float64      `json:"mean_cycle_detect_ns"`
 	PerWorker         []WorkerStat `json:"per_worker,omitempty"`
+	// TimelineEvents holds the worker timeline when Options.Timeline
+	// was set (absent otherwise); TimelineDropped counts events the
+	// recorder's capacity bound lost. Readers built before these fields
+	// existed ignore them.
+	TimelineEvents  []TimelineEvent `json:"timeline_events,omitempty"`
+	TimelineDropped int64           `json:"timeline_dropped,omitempty"`
 }
 
 // Snapshot captures the engine's counters and per-worker utilisation.
@@ -72,6 +78,10 @@ func (e *Engine) Snapshot() Snapshot {
 	e.mu.Lock()
 	s.PerWorker = append([]WorkerStat(nil), e.workerTotals...)
 	e.mu.Unlock()
+	if tl := e.opt.Timeline; tl != nil {
+		s.TimelineEvents = tl.Events()
+		s.TimelineDropped = tl.Dropped()
+	}
 	for i := range s.PerWorker {
 		if s.WallNS > 0 {
 			u := float64(s.PerWorker[i].BusyNS) / float64(s.WallNS)

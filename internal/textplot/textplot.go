@@ -51,6 +51,81 @@ func Bars(s Series, width int) string {
 	return b.String()
 }
 
+// heatRamp is the shading ramp used by Heatmap, darkest last. The
+// first rune renders exact zero so empty cells read as empty.
+const heatRamp = " .:-=+*#%@"
+
+// Heatmap renders a dense numeric grid as a shaded character matrix:
+// one row per label, one column per value, each cell shaded by its
+// magnitude relative to the grid maximum (space = zero, '@' = max).
+// Columns are indexed along a header axis in steps of 5. Negative
+// values are clamped to zero. Deterministic output, suitable for
+// golden files.
+func Heatmap(title string, rowLabels []string, grid [][]float64) string {
+	if len(rowLabels) != len(grid) {
+		panic(fmt.Sprintf("textplot: %d row labels vs %d rows", len(rowLabels), len(grid)))
+	}
+	cols := 0
+	labelW := 0
+	maxV := 0.0
+	for i, row := range grid {
+		if len(row) > cols {
+			cols = len(row)
+		}
+		if len(rowLabels[i]) > labelW {
+			labelW = len(rowLabels[i])
+		}
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(grid) == 0 || cols == 0 {
+		b.WriteString("(empty grid)\n")
+		return b.String()
+	}
+	// Column axis: a tick label every 5 columns.
+	fmt.Fprintf(&b, "%*s ", labelW, "")
+	for c := 0; c < cols; c += 5 {
+		fmt.Fprintf(&b, "%-5d", c)
+	}
+	b.WriteString("\n")
+	ramp := []byte(heatRamp)
+	for i, row := range grid {
+		fmt.Fprintf(&b, "%*s ", labelW, rowLabels[i])
+		for c := 0; c < cols; c++ {
+			v := 0.0
+			if c < len(row) {
+				v = row[c]
+			}
+			b.WriteByte(shade(v, maxV, ramp))
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "scale: '%c' = 0, '%c' = %.4g\n", ramp[0], ramp[len(ramp)-1], maxV)
+	return b.String()
+}
+
+// shade picks the ramp character for value v on a [0, maxV] scale.
+// Zero (and any non-positive value) always maps to the first rune;
+// every positive value maps to at least the second, so a single count
+// never disappears into the background.
+func shade(v, maxV float64, ramp []byte) byte {
+	if v <= 0 || maxV <= 0 {
+		return ramp[0]
+	}
+	idx := 1 + int(v/maxV*float64(len(ramp)-2)+0.5)
+	if idx >= len(ramp) {
+		idx = len(ramp) - 1
+	}
+	return ramp[idx]
+}
+
 // Table renders rows as an aligned text table with a header.
 type Table struct {
 	Header []string

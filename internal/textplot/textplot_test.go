@@ -47,6 +47,55 @@ func TestBarsMismatchPanics(t *testing.T) {
 	Bars(Series{Labels: []string{"a"}, Values: []float64{1, 2}}, 10)
 }
 
+func TestHeatmapShading(t *testing.T) {
+	out := Heatmap("occupancy", []string{"bank 0", "bank 1"}, [][]float64{
+		{0, 1, 4},
+		{4, 0, 2},
+	})
+	if !strings.Contains(out, "occupancy") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + axis + 2 rows + scale line
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	row0 := strings.TrimPrefix(lines[2], "bank 0 ")
+	if row0[0] != ' ' {
+		t.Fatalf("zero cell not blank: %q", lines[2])
+	}
+	if row0[2] != '@' {
+		t.Fatalf("max cell not darkest: %q", lines[2])
+	}
+	if row0[1] == ' ' || row0[1] == '@' {
+		t.Fatalf("mid cell should shade between extremes: %q", lines[2])
+	}
+	if !strings.Contains(lines[4], "scale:") {
+		t.Fatalf("scale legend missing: %q", lines[4])
+	}
+}
+
+func TestHeatmapEmptyAndRagged(t *testing.T) {
+	if out := Heatmap("t", nil, nil); !strings.Contains(out, "empty grid") {
+		t.Fatalf("empty grid rendered %q", out)
+	}
+	// Ragged rows are padded with zero cells, not a panic.
+	out := Heatmap("", []string{"a", "b"}, [][]float64{{1, 2, 3}, {1}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("ragged grid lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestHeatmapMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched labels/rows did not panic")
+		}
+	}()
+	Heatmap("", []string{"a"}, [][]float64{{1}, {2}})
+}
+
 func TestTableAlignment(t *testing.T) {
 	tbl := &Table{Header: []string{"x", "value"}}
 	tbl.Add(1, "short")

@@ -5,7 +5,10 @@
 # result into a machine-readable BENCH_sweep.json next to the repo
 # root. Cache hit rates are reported per family, keyed by the engine's
 # family strings ("pair", "triple", "section", "stream4", ...); the
-# legacy top-level pair/triple/section keys are preserved.
+# legacy top-level pair/triple/section keys are preserved. The
+# conflict_composition block records the Fig. 3 reference config's
+# per-kind conflict counts from the phase-histogram benchmark, so the
+# perf trajectory also tracks conflict composition.
 #
 # Usage: scripts/bench.sh [count]
 #   count  -benchtime iteration override, e.g. "10x" (default: 1s timed)
@@ -17,7 +20,7 @@ out="BENCH_sweep.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkSweep(Sequential|Parallel|TriplesSequential|TriplesParallel|SectionsSequential|SectionsParallel|TripleCensusTranslated|NStreamParallel)$' \
+go test -run '^$' -bench 'BenchmarkSweep(Sequential|Parallel|TriplesSequential|TriplesParallel|SectionsSequential|SectionsParallel|TripleCensusTranslated|NStreamParallel)$|BenchmarkPhaseHistogram$' \
 	-benchmem -benchtime "$benchtime" . | tee "$raw"
 
 # Benchmark lines look like:
@@ -61,8 +64,13 @@ function metric(name,   i) {
 /^BenchmarkSweepNStreamParallel/ {
 	ns_hit = metric("stream4_cache_hit_%")
 }
+/^BenchmarkPhaseHistogram/ {
+	ph_grants = metric("grants"); ph_bank = metric("bank_conflicts")
+	ph_sim = metric("simultaneous_conflicts"); ph_sec = metric("section_conflicts")
+	ph_cycle = metric("cycle_clocks")
+}
 END {
-	if (seq_ns == "" || par_ns == "" || t_par_ns == "" || s_par_ns == "" || c_base == "" || ns_hit == "") {
+	if (seq_ns == "" || par_ns == "" || t_par_ns == "" || s_par_ns == "" || c_base == "" || ns_hit == "" || ph_grants == "") {
 		print "bench.sh: missing benchmark output" > "/dev/stderr"; exit 1
 	}
 	printf "{\n"
@@ -95,6 +103,14 @@ END {
 	printf "    \"triple\": %s,\n", t_hit
 	printf "    \"section\": %s,\n", s_hit
 	printf "    \"stream4\": %s\n", ns_hit
+	printf "  },\n"
+	printf "  \"conflict_composition\": {\n"
+	printf "    \"config\": \"fig3 barrier m=13 nc=6 d1=1 d2=6\",\n"
+	printf "    \"cycle_clocks\": %s,\n", ph_cycle
+	printf "    \"grants\": %s,\n", ph_grants
+	printf "    \"bank_conflicts\": %s,\n", ph_bank
+	printf "    \"simultaneous_conflicts\": %s,\n", ph_sim
+	printf "    \"section_conflicts\": %s\n", ph_sec
 	printf "  },\n"
 	printf "  \"cache_hit_rate_percent\": %s,\n", hit
 	printf "  \"speedup_vs_sequential\": %s\n", speedup

@@ -32,7 +32,7 @@ go vet "$@"
 # carry a doc comment, and every relative Markdown link must resolve.
 go run ./internal/tools/docscheck \
 	internal/sweep internal/modmath internal/memsys internal/stats \
-	internal/obs internal/obs/profile
+	internal/obs internal/obs/profile internal/textplot
 
 go test -race "$@"
 go test -race ./internal/obs/...
