@@ -57,6 +57,14 @@ const (
 // 1 holds the fixed priority).
 func Analyze(m, nc, d1, d2 int) Analysis { return core.Analyze(m, nc, d1, d2) }
 
+// PairGate is the analytic fast path for pair sweeps: the classifier
+// verdict compiled once per (m, nc, d1, d2) and queried per placement,
+// answering b_eff without simulation exactly where a theorem proves it.
+type PairGate = core.PairGate
+
+// NewPairGate compiles the analytic fast path for one distance pair.
+func NewPairGate(m, nc, d1, d2 int) PairGate { return core.NewPairGate(m, nc, d1, d2) }
+
 // ReturnNumber is Theorem 1: r = m / gcd(m, d).
 func ReturnNumber(m, d int) int { return core.ReturnNumber(m, d) }
 
@@ -111,6 +119,20 @@ const (
 	ConsecutiveSections = memsys.ConsecutiveSections
 	FixedPriority       = memsys.FixedPriority
 	CyclicPriority      = memsys.CyclicPriority
+)
+
+// MemKernel selects the simulator's inner-loop implementation; see
+// docs/KERNEL.md.
+type MemKernel = memsys.Kernel
+
+// The available simulator kernels: the scalar reference loop (the
+// oracle) and the bit-packed bank-busy kernel, which produces identical
+// grants, conflict classifications and cyclic states while running the
+// busy set as bits plus an expiry event wheel. Switch with
+// System.SetKernel.
+const (
+	KernelScalar = memsys.KernelScalar
+	KernelPacked = memsys.KernelPacked
 )
 
 // NewSystem creates a memory system with plain modulo interleaving.

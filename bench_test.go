@@ -196,6 +196,58 @@ func BenchmarkSweepParallel(b *testing.B) {
 	b.ReportMetric(seq.Seconds()/(b.Elapsed().Seconds()/float64(b.N)), "speedup_vs_seq")
 }
 
+// The two-level speed path (docs/KERNEL.md), measured against the
+// scalar no-gate baseline in the same process. Both sides run with the
+// cache disabled so the metric isolates the speed paths themselves
+// rather than memoization. The analytic benchmark is the theorem-dense
+// census: a large power-of-two modulus with a short busy time, where
+// Theorems 2/3 cover most distance pairs and the classifier gate
+// answers placements without simulating.
+func BenchmarkSweepAnalyticFastPath(b *testing.B) {
+	off := false
+	const m, nc = 32, 2
+	start := time.Now()
+	base := sweep.NewEngine(sweep.Options{Workers: 4, CacheSize: -1, Analytic: &off, PackedKernel: &off})
+	base.Grid(m, nc)
+	baseline := time.Since(start)
+	var analyticRate float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := sweep.NewEngine(sweep.Options{Workers: 4, CacheSize: -1})
+		eng.Grid(m, nc)
+		analyticRate = eng.Metrics().AnalyticHitRate()
+	}
+	b.ReportMetric(analyticRate*100, "analytic_hit_%")
+	b.ReportMetric(baseline.Seconds()/(b.Elapsed().Seconds()/float64(b.N)), "speedup_vs_scalar")
+}
+
+// The packed-kernel benchmark is the simulation-heavy census: the
+// prime modulus (barrier- and conflict-rich) plus the X-MP modulus,
+// with the analytic gate forced off on BOTH sides so every placement
+// simulates and the metric isolates the bit-packed bank-busy kernel
+// against the scalar oracle loop.
+func BenchmarkSweepKernelPacked(b *testing.B) {
+	off, on := false, true
+	grid := []struct{ m, nc int }{{13, 4}, {16, 4}}
+	start := time.Now()
+	base := sweep.NewEngine(sweep.Options{Workers: 4, CacheSize: -1, Analytic: &off, PackedKernel: &off})
+	for _, g := range grid {
+		base.Grid(g.m, g.nc)
+	}
+	baseline := time.Since(start)
+	var cycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := sweep.NewEngine(sweep.Options{Workers: 4, CacheSize: -1, Analytic: &off, PackedKernel: &on})
+		for _, g := range grid {
+			eng.Grid(g.m, g.nc)
+		}
+		cycles = eng.Metrics().CyclesFound
+	}
+	b.ReportMetric(float64(cycles), "cycles")
+	b.ReportMetric(baseline.Seconds()/(b.Elapsed().Seconds()/float64(b.N)), "speedup_vs_scalar")
+}
+
 // The EXPERIMENTS.md triple grid: all-placements three-stream sweeps
 // on the prime moduli, where the unit-group canonicalisation collapses
 // most placements (power-of-two moduli have large stabilisers and

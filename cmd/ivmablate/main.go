@@ -32,11 +32,19 @@ func main() {
 	maxInc := flag.Int("maxinc", 16, "largest increment to sweep")
 	workers := flag.Int("workers", 0, "sweep worker goroutines for the engine studies; 0 selects GOMAXPROCS")
 	cache := flag.Int("cache", sweep.DefaultCacheSize, "cyclic-state cache entries for the engine studies, shared by pair, triple and section sweeps; negative disables")
+	analytic := flag.Bool("analytic", true, "answer theorem-provable pair placements analytically instead of simulating (results are byte-identical either way)")
+	kernelName := flag.String("kernel", "packed", "simulator kernel for the engine studies: packed (bit-packed bank-busy) or scalar (the reference oracle)")
 	metricsOut := flag.String("metrics-out", "", "write the engine studies' metrics snapshot as JSON")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address: /metrics JSON, /debug/vars expvar, /debug/pprof")
 	traceOut := flag.String("trace-out", "", "write the engine studies' worker timeline as Chrome trace_event JSON (open in chrome://tracing or Perfetto)")
 	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	packed, err := sweep.KernelOption(*kernelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	stop, err := prof.Start()
 	if err != nil {
@@ -53,7 +61,8 @@ func main() {
 	var eng *sweep.Engine
 	engine := func() *sweep.Engine {
 		if eng == nil {
-			eng = sweep.NewEngine(sweep.Options{Workers: *workers, CacheSize: *cache, Timeline: timeline})
+			eng = sweep.NewEngine(sweep.Options{Workers: *workers, CacheSize: *cache, Timeline: timeline,
+				Analytic: analytic, PackedKernel: packed})
 		}
 		return eng
 	}

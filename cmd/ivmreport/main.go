@@ -28,10 +28,17 @@ func main() {
 	fast := flag.Bool("fast", false, "shrink the expensive sweeps")
 	workers := flag.Int("workers", 0, "sweep worker goroutines; 0 selects GOMAXPROCS")
 	cache := flag.Int("cache", sweep.DefaultCacheSize, "cyclic-state cache entries, shared by pair, triple and section sweeps; negative disables caching")
+	analytic := flag.Bool("analytic", true, "answer theorem-provable pair placements analytically instead of simulating (results are byte-identical either way)")
+	kernelName := flag.String("kernel", "packed", "simulator kernel: packed (bit-packed bank-busy) or scalar (the reference oracle)")
 	metricsOut := flag.String("metrics-out", "", "write the engine metrics snapshot as JSON to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address: /metrics JSON, /debug/vars expvar, /debug/pprof")
 	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	packed, err := sweep.KernelOption(*kernelName)
+	if err != nil {
+		fail(err)
+	}
 
 	stop, err := prof.Start()
 	if err != nil {
@@ -42,7 +49,8 @@ func main() {
 	if *fast {
 		opts = report.Fast()
 	}
-	eng := sweep.NewEngine(sweep.Options{Workers: *workers, CacheSize: *cache})
+	eng := sweep.NewEngine(sweep.Options{Workers: *workers, CacheSize: *cache,
+		Analytic: analytic, PackedKernel: packed})
 	opts.Engine = eng
 	if *metricsAddr != "" {
 		reg := obs.NewRegistry()

@@ -45,6 +45,8 @@ func main() {
 	full := flag.Bool("full", false, "print the full per-pair table (default: summary only)")
 	workers := flag.Int("workers", 0, "sweep worker goroutines; 0 selects GOMAXPROCS")
 	cache := flag.Int("cache", sweep.DefaultCacheSize, "cyclic-state cache entries, shared by pair, triple and section sweeps; negative disables caching")
+	analytic := flag.Bool("analytic", true, "answer theorem-provable pair placements analytically instead of simulating (results are byte-identical either way)")
+	kernelName := flag.String("kernel", "packed", "simulator kernel: packed (bit-packed bank-busy) or scalar (the reference oracle)")
 	showStats := flag.Bool("stats", false, "collect and print per-bank statistics of the simulated states")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of the sweep worker timeline plus the traced pair's cycle search (open in chrome://tracing or Perfetto)")
 	csvOut := flag.String("csv-out", "", "write the traced pair's event timeline as CSV")
@@ -56,6 +58,13 @@ func main() {
 	flag.Parse()
 
 	if err := validateSweepFlags(sweepFlags{streams: *streams, secs: *secs, triples: *triples, census: *census}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	packed, err := sweep.KernelOption(*kernelName)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		flag.Usage()
 		os.Exit(2)
@@ -73,6 +82,7 @@ func main() {
 	eng := sweep.NewEngine(sweep.Options{
 		Workers: *workers, CacheSize: *cache, CollectStats: *showStats,
 		SectionFullUnits: fullUnits, Timeline: timeline,
+		Analytic: analytic, PackedKernel: packed,
 	})
 	if *metricsAddr != "" {
 		reg := obs.NewRegistry()

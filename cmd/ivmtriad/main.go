@@ -28,7 +28,16 @@ func main() {
 	bounds := flag.Bool("bounds", false, "append the idealised three-stream capacity-bound sweep per increment (all placements, cached engine)")
 	workers := flag.Int("workers", 0, "sweep worker goroutines for -bounds; 0 selects GOMAXPROCS")
 	cache := flag.Int("cache", sweep.DefaultCacheSize, "cyclic-state cache entries for -bounds, shared by pair, triple and section sweeps; negative disables caching")
+	analytic := flag.Bool("analytic", true, "answer theorem-provable pair placements analytically instead of simulating (results are byte-identical either way)")
+	kernelName := flag.String("kernel", "packed", "simulator kernel for -bounds: packed (bit-packed bank-busy) or scalar (the reference oracle)")
 	flag.Parse()
+
+	packed, err := sweep.KernelOption(*kernelName)
+	if err != nil {
+		fmt.Println(err)
+		flag.Usage()
+		return
+	}
 
 	cfg := machine.DefaultConfig()
 	mode := "other CPU saturating at d=1 (Fig. 10a/c/d/e)"
@@ -54,7 +63,8 @@ func main() {
 	}
 
 	if *bounds {
-		eng := sweep.NewEngine(sweep.Options{Workers: *workers, CacheSize: *cache})
+		eng := sweep.NewEngine(sweep.Options{Workers: *workers, CacheSize: *cache,
+			Analytic: analytic, PackedKernel: packed})
 		fmt.Printf("\nIdealised triad streams (INC,INC,INC) on m=16 n_c=4, all relative placements:\n")
 		fmt.Printf("%-4s %12s %12s %12s %12s %10s\n", "INC", "bound min", "bound max", "sim min", "sim max", "tight")
 		for inc := 1; inc <= *maxInc; inc++ {

@@ -71,6 +71,9 @@ func (s *System) FindCycle(maxClocks int64) (Cycle, error) {
 			return Cycle{}, fmt.Errorf("%w (port %d is %s)", ErrNotPeriodic, p.ID, describeSource(p.Src))
 		}
 	}
+	if s.kernel == KernelPacked {
+		return s.findCyclePacked(start, maxClocks)
+	}
 
 	type snapshot struct {
 		clock     int64

@@ -1,0 +1,290 @@
+package memsys
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The differential equivalence suite for the bit-packed kernel: every
+// test here drives a scalar system and a packed system through the same
+// schedule and demands byte-identical observables — grant order, per
+// -clock events (including conflict classification and blocker), per
+// -bank busy state, Run totals, FindCycle windows and b_eff. The scalar
+// kernel is the oracle; see docs/KERNEL.md for the soundness argument
+// this suite is the executable form of.
+
+// kernelDiffCorpus covers all six classifier regimes with the same
+// (m, n_c, d1, d2) seeds the sweep fuzz corpus uses, so any divergence
+// in the packed kernel's conflict handling is caught in every regime.
+var kernelDiffCorpus = []struct {
+	name           string
+	m, nc, d1, d2  int
+	b2             int
+	sections, cpus int
+}{
+	{"self_conflict", 16, 4, 8, 8, 1, 0, 2},
+	{"conflict_free", 12, 3, 1, 7, 0, 0, 2},
+	{"disjoint_free", 16, 4, 2, 6, 1, 0, 2},
+	{"unique_barrier", 16, 2, 1, 2, 0, 0, 2},
+	{"barrier_possible", 13, 4, 1, 3, 2, 0, 2},
+	{"conflicting", 2, 1, 0, 1, 1, 0, 2},
+	{"sectioned", 12, 3, 1, 7, 3, 4, 1},
+	{"sectioned_two_cpus", 16, 4, 2, 6, 5, 4, 2},
+}
+
+// sourceSpec builds one fresh Source per system, so the two kernels
+// never share mutable stream state.
+type sourceSpec struct {
+	cpu  int
+	make func() Source
+}
+
+func infiniteSpec(cpu int, start, dist int64) sourceSpec {
+	return sourceSpec{cpu, func() Source { return NewInfiniteStrided(start, dist) }}
+}
+
+func finiteSpec(cpu int, start, dist int64, n int) sourceSpec {
+	return sourceSpec{cpu, func() Source { return NewStrided(start, dist, n) }}
+}
+
+func buildKernelPair(cfg Config, specs []sourceSpec) (scalar, packed *System) {
+	scalar = New(cfg)
+	packed = New(cfg)
+	packed.SetKernel(KernelPacked)
+	for i, sp := range specs {
+		label := fmt.Sprintf("%d", i+1)
+		scalar.AddPort(sp.cpu, label, sp.make())
+		packed.AddPort(sp.cpu, label, sp.make())
+	}
+	return scalar, packed
+}
+
+// recEvent is an Event with the port pointers flattened to IDs so the
+// streams of two different systems can be compared with DeepEqual.
+type recEvent struct {
+	Clock   int64
+	Port    int
+	Bank    int
+	Kind    ConflictKind
+	Blocker int // -1 when no blocker
+}
+
+type eventRecorder struct{ events []recEvent }
+
+func (r *eventRecorder) Observe(e Event) {
+	blocker := -1
+	if e.Blocker != nil {
+		blocker = e.Blocker.ID
+	}
+	r.events = append(r.events, recEvent{e.Clock, e.Port.ID, e.Bank, e.Kind, blocker})
+}
+
+// stepCompare drives both systems clock-by-clock and asserts identical
+// grants, event streams, busy state and owners after every clock.
+func stepCompare(t *testing.T, scalar, packed *System, steps int) {
+	t.Helper()
+	sRec, pRec := &eventRecorder{}, &eventRecorder{}
+	scalar.SetListener(sRec)
+	packed.SetListener(pRec)
+	for i := 0; i < steps; i++ {
+		gs, gp := scalar.Step(), packed.Step()
+		if gs != gp {
+			t.Fatalf("clock %d: scalar granted %d, packed %d", i, gs, gp)
+		}
+		if !reflect.DeepEqual(sRec.events, pRec.events) {
+			t.Fatalf("clock %d: event streams diverge:\nscalar %+v\npacked %+v", i, sRec.events, pRec.events)
+		}
+		for b := 0; b < scalar.Config().Banks; b++ {
+			if bs, bp := scalar.BankBusy(b), packed.BankBusy(b); bs != bp {
+				t.Fatalf("clock %d bank %d: scalar busy %d, packed busy %d", i, b, bs, bp)
+			}
+			so, po := scalar.BankOwner(b), packed.BankOwner(b)
+			switch {
+			case (so == nil) != (po == nil):
+				t.Fatalf("clock %d bank %d: owner nil-ness diverges", i, b)
+			case so != nil && so.ID != po.ID:
+				t.Fatalf("clock %d bank %d: scalar owner %d, packed owner %d", i, b, so.ID, po.ID)
+			}
+		}
+	}
+	for i := range scalar.Ports() {
+		cs, cp := scalar.Ports()[i].Count, packed.Ports()[i].Count
+		if cs != cp {
+			t.Fatalf("port %d counters diverge: scalar %+v packed %+v", i, cs, cp)
+		}
+	}
+}
+
+func corpusSpecs(m, d1, d2, b2, cpus int) []sourceSpec {
+	cpu2 := 1
+	if cpu2 >= cpus {
+		cpu2 = 0
+	}
+	return []sourceSpec{
+		infiniteSpec(0, 0, int64(d1)),
+		infiniteSpec(cpu2, int64(b2%m), int64(d2)),
+	}
+}
+
+// TestDifferentialKernelStepByStep holds the packed kernel to the
+// scalar oracle one clock at a time across all six regimes, with
+// sections, two CPUs and a finite third stream in the mix.
+func TestDifferentialKernelStepByStep(t *testing.T) {
+	for _, tc := range kernelDiffCorpus {
+		for _, prio := range []PriorityRule{FixedPriority, CyclicPriority} {
+			name := fmt.Sprintf("%s/%v", tc.name, prio)
+			t.Run(name, func(t *testing.T) {
+				cfg := Config{Banks: tc.m, BankBusy: tc.nc, Sections: tc.sections, CPUs: tc.cpus, Priority: prio}
+				specs := corpusSpecs(tc.m, tc.d1, tc.d2, tc.b2, tc.cpus)
+				specs = append(specs, finiteSpec(0, 2, 1, 40))
+				scalar, packed := buildKernelPair(cfg, specs)
+				stepCompare(t, scalar, packed, 300)
+			})
+		}
+	}
+}
+
+// TestDifferentialKernelRun exercises the packed Run skip-ahead (no
+// listener attached, so blocked stretches are applied in bulk) and
+// demands identical totals, clocks and counters.
+func TestDifferentialKernelRun(t *testing.T) {
+	for _, tc := range kernelDiffCorpus {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{Banks: tc.m, BankBusy: tc.nc, Sections: tc.sections, CPUs: tc.cpus, Priority: CyclicPriority}
+			scalar, packed := buildKernelPair(cfg, corpusSpecs(tc.m, tc.d1, tc.d2, tc.b2, tc.cpus))
+			const clocks = 5000
+			gs, gp := scalar.Run(clocks), packed.Run(clocks)
+			if gs != gp {
+				t.Fatalf("scalar granted %d, packed %d", gs, gp)
+			}
+			if scalar.Clock() != packed.Clock() {
+				t.Fatalf("clocks diverge: scalar %d packed %d", scalar.Clock(), packed.Clock())
+			}
+			for i := range scalar.Ports() {
+				cs, cp := scalar.Ports()[i].Count, packed.Ports()[i].Count
+				if cs != cp {
+					t.Fatalf("port %d counters diverge: scalar %+v packed %+v", i, cs, cp)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialKernelFindCycle demands identical cycle windows —
+// Lead, Length, per-port grants and conflict classification — and
+// therefore identical b_eff from both cycle detectors.
+func TestDifferentialKernelFindCycle(t *testing.T) {
+	for _, tc := range kernelDiffCorpus {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{Banks: tc.m, BankBusy: tc.nc, Sections: tc.sections, CPUs: tc.cpus}
+			scalar, packed := buildKernelPair(cfg, corpusSpecs(tc.m, tc.d1, tc.d2, tc.b2, tc.cpus))
+			cs, errS := scalar.FindCycle(1 << 22)
+			cp, errP := packed.FindCycle(1 << 22)
+			if (errS == nil) != (errP == nil) {
+				t.Fatalf("error mismatch: scalar %v packed %v", errS, errP)
+			}
+			if errS != nil {
+				return
+			}
+			if !reflect.DeepEqual(cs, cp) {
+				t.Fatalf("cycle windows diverge:\nscalar %+v\npacked %+v", cs, cp)
+			}
+			if bs, bp := cs.EffectiveBandwidth(), cp.EffectiveBandwidth(); bs != bp {
+				t.Fatalf("b_eff diverges: scalar %v packed %v", bs, bp)
+			}
+		})
+	}
+}
+
+// TestDifferentialKernelRandom sweeps randomized (m, s, n_c, placement)
+// configurations through all three comparison modes with a fixed seed.
+func TestDifferentialKernelRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(19850607))
+	for trial := 0; trial < 60; trial++ {
+		m := rng.Intn(24) + 1
+		nc := rng.Intn(6) + 1
+		s := rng.Intn(m) + 1
+		for m%s != 0 {
+			s--
+		}
+		cfg := Config{Banks: m, Sections: s, BankBusy: nc, CPUs: rng.Intn(2) + 1}
+		if rng.Intn(2) == 1 {
+			cfg.Priority = CyclicPriority
+		}
+		if rng.Intn(2) == 1 {
+			cfg.Mapping = ConsecutiveSections
+		}
+		np := rng.Intn(3) + 2
+		specs := make([]sourceSpec, 0, np)
+		for i := 0; i < np; i++ {
+			cpu := rng.Intn(cfg.CPUs)
+			start, dist := int64(rng.Intn(m)), int64(rng.Intn(m))
+			if rng.Intn(4) == 0 {
+				specs = append(specs, finiteSpec(cpu, start, dist, rng.Intn(60)+1))
+			} else {
+				specs = append(specs, infiniteSpec(cpu, start, dist))
+			}
+		}
+		name := fmt.Sprintf("trial%02d_m%d_s%d_nc%d", trial, m, s, nc)
+		t.Run(name, func(t *testing.T) {
+			scalar, packed := buildKernelPair(cfg, specs)
+			stepCompare(t, scalar, packed, 200)
+			// Fresh pair for the skip-ahead Run path.
+			scalar, packed = buildKernelPair(cfg, specs)
+			if gs, gp := scalar.Run(3000), packed.Run(3000); gs != gp {
+				t.Fatalf("Run totals diverge: scalar %d packed %d", gs, gp)
+			}
+		})
+	}
+}
+
+// FuzzKernelEquivalence mirrors FuzzSimulatorInvariants' configuration
+// space but, instead of structural invariants, checks the packed kernel
+// against the scalar oracle: identical per-clock grants and busy state
+// over a mixed finite/infinite schedule, then identical FindCycle
+// output on a fresh infinite-only pair.
+func FuzzKernelEquivalence(f *testing.F) {
+	f.Add(uint8(16), uint8(4), uint8(4), uint8(1), uint8(6), uint8(3), false, false)
+	f.Add(uint8(12), uint8(3), uint8(3), uint8(1), uint8(1), uint8(1), true, false)
+	f.Add(uint8(13), uint8(6), uint8(1), uint8(1), uint8(6), uint8(0), false, true)
+	f.Add(uint8(8), uint8(2), uint8(2), uint8(0), uint8(0), uint8(0), true, true)
+
+	f.Fuzz(func(t *testing.T, mRaw, ncRaw, sRaw, d1Raw, d2Raw, b2Raw uint8, cyclic, consecutive bool) {
+		m := int(mRaw%24) + 1
+		nc := int(ncRaw%6) + 1
+		s := int(sRaw%uint8(m)) + 1
+		for m%s != 0 {
+			s--
+		}
+		cfg := Config{Banks: m, Sections: s, BankBusy: nc, CPUs: 2}
+		if cyclic {
+			cfg.Priority = CyclicPriority
+		}
+		if consecutive {
+			cfg.Mapping = ConsecutiveSections
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("constructed invalid config: %v", err)
+		}
+		d1, d2, b2 := int64(int(d1Raw)%m), int64(int(d2Raw)%m), int64(int(b2Raw)%m)
+		specs := []sourceSpec{
+			infiniteSpec(0, 0, d1),
+			infiniteSpec(1, b2, d2),
+			finiteSpec(0, 2, 1, 40),
+		}
+		scalar, packed := buildKernelPair(cfg, specs)
+		stepCompare(t, scalar, packed, 300)
+
+		scalar, packed = buildKernelPair(cfg, specs[:2])
+		cs, errS := scalar.FindCycle(1 << 20)
+		cp, errP := packed.FindCycle(1 << 20)
+		if (errS == nil) != (errP == nil) {
+			t.Fatalf("FindCycle error mismatch: scalar %v packed %v", errS, errP)
+		}
+		if errS == nil && !reflect.DeepEqual(cs, cp) {
+			t.Fatalf("cycle windows diverge:\nscalar %+v\npacked %+v", cs, cp)
+		}
+	})
+}

@@ -263,6 +263,17 @@ type System struct {
 	clock    int64
 	rr       int // rotating priority pointer (CyclicPriority)
 	listener Listener
+
+	// Packed-kernel state (see kernel.go), allocated by SetKernel and
+	// unused while kernel == KernelScalar: the busy set as one bit per
+	// bank, the absolute clock at which each busy bank frees, the
+	// expiry event wheel (n_c+1 slots keyed by clock modulo the wheel
+	// length) and the wheel's drain cursor.
+	kernel  Kernel
+	words   []uint64
+	expiry  []int64
+	wheel   [][]int32
+	expired int64
 }
 
 // New creates a memory system with the default modulo bank mapping.
@@ -312,12 +323,14 @@ func (s *System) Config() Config { return s.cfg }
 // Reset returns the system to an empty initial state while keeping its
 // allocations, so one System can be reused for many simulations (the
 // parallel sweep engine holds one per worker): all ports are detached,
-// every bank is freed and the priority rotation returns to zero. The
-// configuration, bank mapper and listener are kept. The clock is NOT
-// rewound — the per-clock grant stamps stay valid precisely because
-// the clock only moves forward, which is what makes Reset O(m) instead
-// of O(m·s) — so clock-derived quantities of a later run (FindCycle
-// leads, listener event clocks) are relative to the clock at reuse.
+// every bank is freed — including the packed kernel's busy bits and
+// pending expiry events — and the priority rotation returns to zero.
+// The configuration, bank mapper, kernel and listener are kept. The
+// clock is NOT rewound — the per-clock grant stamps stay valid
+// precisely because the clock only moves forward, which is what makes
+// Reset O(m) instead of O(m·s) — so clock-derived quantities of a
+// later run (FindCycle leads, listener event clocks) are relative to
+// the clock at reuse.
 func (s *System) Reset() {
 	s.ports = s.ports[:0]
 	for b := range s.busy {
@@ -325,6 +338,7 @@ func (s *System) Reset() {
 		s.owner[b] = nil
 	}
 	s.rr = 0
+	s.clearPacked()
 }
 
 // Mapper returns the address-to-bank mapping in use.
@@ -362,12 +376,20 @@ func (s *System) Section(bank int) int {
 }
 
 // BankBusy returns the remaining busy clocks of a bank (0 = idle).
-func (s *System) BankBusy(bank int) int { return s.busy[bank] }
+func (s *System) BankBusy(bank int) int {
+	if s.kernel == KernelPacked {
+		if !s.packedBusy(bank) {
+			return 0
+		}
+		return int(s.expiry[bank] - s.clock)
+	}
+	return s.busy[bank]
+}
 
 // BankOwner returns the port currently being serviced by the bank, or
 // nil if the bank is idle.
 func (s *System) BankOwner(bank int) *Port {
-	if s.busy[bank] == 0 {
+	if s.BankBusy(bank) == 0 {
 		return nil
 	}
 	return s.owner[bank]
@@ -378,6 +400,9 @@ func (s *System) BankOwner(bank int) *Port {
 // for n_c clocks and their path for this clock; losers are delayed and
 // classified. It returns the number of requests granted this clock.
 func (s *System) Step() int {
+	if s.kernel == KernelPacked {
+		return s.stepPacked()
+	}
 	t := s.clock
 	order := s.arbitrationOrder()
 	granted := 0
@@ -491,8 +516,13 @@ func (s *System) arbitrationOrder() []*Port {
 }
 
 // Run advances the simulation by n clock periods and returns the total
-// number of grants.
+// number of grants. On the packed kernel without a listener it skips
+// ahead over provably blocked stretches (see blockedStretch); counters
+// and end state are identical to stepping every clock.
 func (s *System) Run(n int64) int64 {
+	if s.kernel == KernelPacked && s.listener == nil {
+		return s.runPacked(n)
+	}
 	var total int64
 	for i := int64(0); i < n; i++ {
 		total += int64(s.Step())

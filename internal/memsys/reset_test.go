@@ -55,6 +55,55 @@ func TestResetReuseMatchesFresh(t *testing.T) {
 	}
 }
 
+// TestResetClearsPackedState reuses a packed-kernel system through
+// Reset with banks still mid-busy and expiry events still queued in the
+// event wheel. If Reset left any stale bit or wheel entry behind, the
+// reused run would either see phantom busy banks or free a re-granted
+// bank early; the test pins the reused cycle to a fresh packed system
+// and to the scalar oracle, and checks Reset is idempotent.
+func TestResetClearsPackedState(t *testing.T) {
+	cfg := Config{Banks: 13, BankBusy: 6, CPUs: 2}
+	attach := func(sys *System) {
+		sys.AddPort(0, "1", NewInfiniteStrided(0, 1))
+		sys.AddPort(1, "2", NewInfiniteStrided(0, 6))
+	}
+
+	reused := New(cfg)
+	reused.SetKernel(KernelPacked)
+	attach(reused)
+	// Stop mid-busy: with n_c = 6, clock 3 leaves live busy bits and
+	// queued expiry events in the wheel.
+	reused.Run(3)
+	reused.Reset()
+	reused.Reset() // idempotent: a second Reset must be a no-op
+	for b := 0; b < cfg.Banks; b++ {
+		if reused.BankBusy(b) != 0 || reused.BankOwner(b) != nil {
+			t.Fatalf("bank %d still busy after Reset on packed kernel", b)
+		}
+	}
+	attach(reused)
+	got, err := reused.FindCycle(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, k := range []Kernel{KernelPacked, KernelScalar} {
+		fresh := New(cfg)
+		fresh.SetKernel(k)
+		attach(fresh)
+		want, err := fresh.FindCycle(1 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Lead != want.Lead || got.Length != want.Length {
+			t.Fatalf("reused packed lead/length %d/%d, fresh %v %d/%d", got.Lead, got.Length, k, want.Lead, want.Length)
+		}
+		if !got.EffectiveBandwidth().Equal(want.EffectiveBandwidth()) {
+			t.Fatalf("reused packed b_eff %s, fresh %v %s", got.EffectiveBandwidth(), k, want.EffectiveBandwidth())
+		}
+	}
+}
+
 // Reset keeps the clock monotonic and detaches ports.
 func TestResetKeepsClock(t *testing.T) {
 	sys := New(Config{Banks: 8, BankBusy: 2, CPUs: 1})

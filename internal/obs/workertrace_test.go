@@ -98,8 +98,14 @@ func TestWorkerTraceFromEngine(t *testing.T) {
 		t.Error("no events on the worker process track")
 	}
 	m := e.Metrics()
-	if int64(s.instants) != m.CacheHits+m.CacheMisses {
-		t.Errorf("%d instants for %d cache probes", s.instants, m.CacheHits+m.CacheMisses)
+	// Every placement emits exactly one instant: an analytic-gate hit, a
+	// cache hit, or a cache miss.
+	probes := m.AnalyticHits + m.CacheHits + m.CacheMisses
+	if int64(s.instants) != probes {
+		t.Errorf("%d instants for %d placement verdicts", s.instants, probes)
+	}
+	if m.AnalyticHits == 0 {
+		t.Error("no analytic-hit instants on the 12-bank grid")
 	}
 }
 

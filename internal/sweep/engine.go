@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ivm/internal/core"
 	"ivm/internal/memsys"
 	"ivm/internal/modmath"
 	"ivm/internal/rat"
@@ -48,6 +49,24 @@ type Options struct {
 	// simulation slices) for Chrome-trace export; nil (the default)
 	// records nothing and costs the hot path nothing.
 	Timeline *Timeline
+	// Analytic enables the theorem-driven classifier gate in the sweep
+	// hot path: sectionless two-stream placements whose regime has a
+	// start-independent closed form (Theorem 3 conflict-free, Theorems
+	// 4+6/7 unique barrier) or that are provably disjoint (Theorem 2)
+	// return their b_eff analytically, without simulating or touching
+	// the cache; everything else simulates as before. Nil or pointing
+	// at true enables the gate (the default); point at false to force
+	// every placement through simulation (the differential tests and
+	// the scalar baseline benchmarks do). Gated answers are exactly the
+	// values simulation would produce — the goldens pin byte-identity.
+	Analytic *bool
+	// PackedKernel selects the memsys kernel the workers simulate on.
+	// Nil or pointing at true selects the bit-packed bank-busy kernel
+	// (memsys.KernelPacked, the default); point at false for the
+	// scalar reference kernel, which stays the oracle the packed one is
+	// differentially tested against. Both kernels produce identical
+	// cyclic states, so results are byte-identical either way.
+	PackedKernel *bool
 	// SectionFullUnits selects the scaling group used to canonicalise
 	// sectioned configurations. When nil or pointing at true (the
 	// default), the full unit group of Z_m is used: a unit u permutes
@@ -65,10 +84,41 @@ func (o Options) sectionFullUnits() bool {
 	return o.SectionFullUnits == nil || *o.SectionFullUnits
 }
 
-// FamilyMetrics is the cache traffic of one configuration family.
+// analytic reports whether the classifier gate short-circuits provable
+// placements.
+func (o Options) analytic() bool {
+	return o.Analytic == nil || *o.Analytic
+}
+
+// KernelOption parses a -kernel flag value into the Options.PackedKernel
+// setting: "packed" selects the bit-packed bank-busy kernel, "scalar"
+// the reference oracle loop. The sweeping CLIs share this parser.
+func KernelOption(name string) (*bool, error) {
+	switch name {
+	case "packed":
+		v := true
+		return &v, nil
+	case "scalar":
+		v := false
+		return &v, nil
+	}
+	return nil, fmt.Errorf("sweep: unknown kernel %q (want packed or scalar)", name)
+}
+
+// kernel returns the memsys kernel the workers simulate on.
+func (o Options) kernel() memsys.Kernel {
+	if o.PackedKernel == nil || *o.PackedKernel {
+		return memsys.KernelPacked
+	}
+	return memsys.KernelScalar
+}
+
+// FamilyMetrics is the cache and fast-path traffic of one configuration
+// family.
 type FamilyMetrics struct {
-	Hits   int64
-	Misses int64
+	Hits     int64
+	Misses   int64
+	Analytic int64
 }
 
 // Metrics are the engine's cumulative counters. All values aggregate
@@ -82,6 +132,10 @@ type FamilyMetrics struct {
 type Metrics struct {
 	CacheHits   int64 // starts answered from the memo cache (all families)
 	CacheMisses int64 // starts that had to be simulated (all families)
+	// AnalyticHits counts starts answered by the theorem-driven
+	// classifier gate (Options.Analytic) without simulating or touching
+	// the cache; encoded as analytic_hits / <family>_analytic_hits.
+	AnalyticHits int64
 	// Families is the per-family cache traffic, keyed by
 	// ConfigSpec.Family ("pair", "triple", "section", "stream4", …).
 	Families       map[string]FamilyMetrics
@@ -136,10 +190,12 @@ func (m Metrics) MarshalJSON() ([]byte, error) {
 	}
 	field("cache_hits", m.CacheHits)
 	field("cache_misses", m.CacheMisses)
+	field("analytic_hits", m.AnalyticHits)
 	for _, name := range familyOrder(m.Families, true) {
 		f := m.Families[name]
 		field(name+"_cache_hits", f.Hits)
 		field(name+"_cache_misses", f.Misses)
+		field(name+"_analytic_hits", f.Analytic)
 	}
 	field("cache_entries", int64(m.CacheEntries))
 	field("cycles_found", m.CyclesFound)
@@ -160,6 +216,7 @@ func (m *Metrics) UnmarshalJSON(data []byte) error {
 	*m = Metrics{
 		CacheHits:      raw["cache_hits"],
 		CacheMisses:    raw["cache_misses"],
+		AnalyticHits:   raw["analytic_hits"],
 		CacheEntries:   int(raw["cache_entries"]),
 		CyclesFound:    raw["cycles_found"],
 		StepsSimulated: raw["steps_simulated"],
@@ -170,8 +227,8 @@ func (m *Metrics) UnmarshalJSON(data []byte) error {
 			continue
 		}
 		name := strings.TrimSuffix(k, "_cache_hits")
-		f := FamilyMetrics{Hits: hits, Misses: raw[name+"_cache_misses"]}
-		if f.Hits+f.Misses == 0 {
+		f := FamilyMetrics{Hits: hits, Misses: raw[name+"_cache_misses"], Analytic: raw[name+"_analytic_hits"]}
+		if f.Hits+f.Misses+f.Analytic == 0 {
 			continue
 		}
 		if m.Families == nil {
@@ -191,8 +248,15 @@ func hitRate(hits, misses int64) float64 {
 }
 
 // HitRate returns the overall cache hit fraction, 0 when the cache was
-// unused.
+// unused. Analytically answered starts never reach the cache and are
+// excluded; see AnalyticHitRate.
 func (m Metrics) HitRate() float64 { return hitRate(m.CacheHits, m.CacheMisses) }
+
+// AnalyticHitRate returns the fraction of starts answered by the
+// classifier gate out of all starts resolved, 0 when nothing ran.
+func (m Metrics) AnalyticHitRate() float64 {
+	return hitRate(m.AnalyticHits, m.CacheHits+m.CacheMisses)
+}
 
 // Family returns the cache traffic of one configuration family (the
 // zero FamilyMetrics when it saw none).
@@ -225,11 +289,13 @@ func (m Metrics) Table() string {
 	t.Add("steps simulated", m.StepsSimulated)
 	t.Add("cache hits", m.CacheHits)
 	t.Add("cache misses", m.CacheMisses)
+	t.Add("analytic hits", m.AnalyticHits)
 	t.Add("cache entries", m.CacheEntries)
 	t.Add("cache hit rate", fmt.Sprintf("%.1f%%", m.HitRate()*100))
+	t.Add("analytic hit rate", fmt.Sprintf("%.1f%%", m.AnalyticHitRate()*100))
 	for _, name := range familyOrder(m.Families, false) {
 		f := m.Families[name]
-		if f.Hits+f.Misses == 0 {
+		if f.Hits+f.Misses+f.Analytic == 0 {
 			continue
 		}
 		t.Add(name+" hit rate",
@@ -277,11 +343,11 @@ type Engine struct {
 	onHit func(cacheKey)
 }
 
-// familyCounter is one family's hit/miss pair; workers cache the
-// pointer per compiled spec so the hot path is two atomic adds away
-// from the map.
+// familyCounter is one family's hit/miss/analytic counters; workers
+// cache the pointer per compiled spec so the hot path is two atomic
+// adds away from the map.
 type familyCounter struct {
-	hits, misses atomic.Int64
+	hits, misses, analytic atomic.Int64
 }
 
 // NewEngine builds an engine; the zero Options select GOMAXPROCS
@@ -326,16 +392,17 @@ func (e *Engine) Metrics() Metrics {
 	}
 	e.famMu.Lock()
 	for name, c := range e.fams {
-		h, mi := c.hits.Load(), c.misses.Load()
-		if h+mi == 0 {
+		h, mi, an := c.hits.Load(), c.misses.Load(), c.analytic.Load()
+		if h+mi+an == 0 {
 			continue
 		}
 		if m.Families == nil {
 			m.Families = make(map[string]FamilyMetrics)
 		}
-		m.Families[name] = FamilyMetrics{Hits: h, Misses: mi}
+		m.Families[name] = FamilyMetrics{Hits: h, Misses: mi, Analytic: an}
 		m.CacheHits += h
 		m.CacheMisses += mi
+		m.AnalyticHits += an
 	}
 	e.famMu.Unlock()
 	if e.cache != nil {
@@ -564,6 +631,7 @@ func (w *worker) system(cfg memsys.Config) *memsys.System {
 	}
 	w.flushStats()
 	w.sys = memsys.New(cfg)
+	w.sys.SetKernel(w.e.opt.kernel())
 	w.cfg = cfg
 	if w.e.opt.CollectStats {
 		w.col = stats.Attach(w.sys)
@@ -672,6 +740,11 @@ type compiledSpec struct {
 	canon   modmath.Pipeline
 	cfg     memsys.Config
 
+	// gate is the analytic fast path for this spec, or nil when the
+	// spec is outside the theorems' model (sectioned, not two streams)
+	// or the classifier has no start-independent closed form for it.
+	gate *core.PairGate
+
 	// vec is the (d_1..d_N, b_1..b_N) canonicalisation scratch; b is
 	// the start-vector scratch handed to bw by the sweep adapters.
 	vec []int
@@ -702,6 +775,15 @@ func (w *worker) compile(spec ConfigSpec) *compiledSpec {
 	cs.counter = w.e.familyCounter(cs.family)
 	for i, st := range spec.Streams {
 		cs.b[i] = st.B
+	}
+	// The classifier's model is a sectionless two-stream memory with
+	// stream 1 holding the fixed priority — exactly what specConfig
+	// builds for such specs, so the gate is sound for any CPU layout
+	// (with s = m every path conflict is already a bank-level event).
+	if w.e.opt.analytic() && spec.S == 0 && n == 2 {
+		if g := core.NewPairGate(spec.M, spec.NC, spec.Streams[0].D, spec.Streams[1].D); g.Active() {
+			cs.gate = &g
+		}
 	}
 	return cs
 }
@@ -753,6 +835,13 @@ func (cs *compiledSpec) tripleBW(w *worker) func(b2, b3 int) rat.Rational {
 func (w *worker) bw(cs *compiledSpec, b []int) rat.Rational {
 	e := w.e
 	tl := e.opt.Timeline
+	if cs.gate != nil {
+		if v, ok := cs.gate.BandwidthAt(b[0], b[1]); ok {
+			cs.counter.analytic.Add(1)
+			tl.Instant(w.id, TimelineAnalytic, -1, cs.family)
+			return v
+		}
+	}
 	if e.cache == nil {
 		n := len(cs.spec.Streams)
 		for i, st := range cs.spec.Streams {

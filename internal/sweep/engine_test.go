@@ -72,14 +72,18 @@ func TestEngineMetricsAccounting(t *testing.T) {
 	for _, r := range results {
 		starts += int64(r.Starts)
 	}
-	if m.CacheHits+m.CacheMisses != starts {
-		t.Fatalf("hits %d + misses %d != %d starts", m.CacheHits, m.CacheMisses, starts)
+	if m.AnalyticHits+m.CacheHits+m.CacheMisses != starts {
+		t.Fatalf("analytic %d + hits %d + misses %d != %d starts",
+			m.AnalyticHits, m.CacheHits, m.CacheMisses, starts)
 	}
 	if m.CacheMisses != m.CyclesFound {
 		t.Fatalf("misses %d != cycles found %d: every miss simulates exactly one cycle", m.CacheMisses, m.CyclesFound)
 	}
 	if m.CacheHits == 0 {
 		t.Fatal("the 12-bank grid has nontrivial unit orbits; expected cache hits")
+	}
+	if m.AnalyticHits == 0 {
+		t.Fatal("the 12-bank grid is rich in conflict-free pairs; expected analytic hits")
 	}
 	if m.StepsSimulated == 0 || m.CacheEntries == 0 {
 		t.Fatalf("metrics not accounted: %+v", m)

@@ -63,6 +63,7 @@ func TestGoldenSequentialSweeps(t *testing.T) {
 	checkGolden(t, "triple_census_8_2.golden", censusText(SweepTriples(8, 2)))
 	checkGolden(t, "section_grid_12_3_3.golden", SectionTable(SectionGrid(12, 3, 3)))
 	checkGolden(t, "section_grid_16_4_4.golden", SectionTable(SectionGrid(16, 4, 4)))
+	checkGolden(t, "nstream_grid_4_2_4.golden", SpecTable(NStreamGrid(4, 2, 4)))
 }
 
 // The parallel, cached engine must reproduce the same goldens through
@@ -82,5 +83,38 @@ func TestGoldenEngineSweeps(t *testing.T) {
 		checkGolden(t, "triple_census_8_2.golden", censusText(eng.Triples(8, 2)))
 		checkGolden(t, "section_grid_12_3_3.golden", SectionTable(eng.SectionGrid(12, 3, 3)))
 		checkGolden(t, "section_grid_16_4_4.golden", SectionTable(eng.SectionGrid(16, 4, 4)))
+		checkGolden(t, "nstream_grid_4_2_4.golden", SpecTable(eng.NStreamGrid(4, 2, 4)))
+	}
+}
+
+// TestGoldenFastPathOnOff is the regression pin for the two speed
+// paths: every golden — pair, triple, section and N-stream — must be
+// byte-identical with the analytic gate and the packed kernel toggled
+// through all four combinations. Simulation is authoritative; neither
+// fast path may change a single output byte.
+func TestGoldenFastPathOnOff(t *testing.T) {
+	if *updateGolden {
+		t.Skip("goldens are captured from the sequential reference path")
+	}
+	on, off := true, false
+	for _, tc := range []struct {
+		name              string
+		analytic, kernelP *bool
+	}{
+		{"analytic_on_packed_on", &on, &on},
+		{"analytic_on_packed_off", &on, &off},
+		{"analytic_off_packed_on", &off, &on},
+		{"analytic_off_packed_off", &off, &off},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := NewEngine(Options{Workers: 4, Analytic: tc.analytic, PackedKernel: tc.kernelP})
+			checkGolden(t, "pair_grid_12_3.golden", Table(eng.Grid(12, 3)))
+			checkGolden(t, "pair_grid_16_4.golden", Table(eng.Grid(16, 4)))
+			checkGolden(t, "triple_grid_6_2.golden", TripleGridTable(eng.TripleGrid(6, 2)))
+			checkGolden(t, "triple_census_8_2.golden", censusText(eng.Triples(8, 2)))
+			checkGolden(t, "section_grid_12_3_3.golden", SectionTable(eng.SectionGrid(12, 3, 3)))
+			checkGolden(t, "section_grid_16_4_4.golden", SectionTable(eng.SectionGrid(16, 4, 4)))
+			checkGolden(t, "nstream_grid_4_2_4.golden", SpecTable(eng.NStreamGrid(4, 2, 4)))
+		})
 	}
 }

@@ -23,6 +23,9 @@ type Snapshot struct {
 	Workers      int     `json:"workers"` // configured pool size
 	Metrics      Metrics `json:"metrics"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	// AnalyticHitRate is the fraction of starts the classifier gate
+	// answered without simulation or cache traffic.
+	AnalyticHitRate float64 `json:"analytic_hit_rate"`
 	// Per-family hit rates, splitting CacheHitRate by configuration
 	// kind (zero when that family saw no traffic).
 	PairCacheHitRate    float64 `json:"pair_cache_hit_rate"`
@@ -59,6 +62,7 @@ func (e *Engine) Snapshot() Snapshot {
 		Workers:             e.workers(),
 		Metrics:             m,
 		CacheHitRate:        m.HitRate(),
+		AnalyticHitRate:     m.AnalyticHitRate(),
 		PairCacheHitRate:    m.PairHitRate(),
 		TripleCacheHitRate:  m.TripleHitRate(),
 		SectionCacheHitRate: m.SectionHitRate(),

@@ -38,6 +38,9 @@ const (
 	TimelineCacheHit
 	// TimelineCacheMiss marks a placement that had to be simulated.
 	TimelineCacheMiss
+	// TimelineAnalytic marks a placement answered by the theorem-driven
+	// classifier gate, bypassing cache and simulator entirely.
+	TimelineAnalytic
 )
 
 var timelineKindNames = [...]string{
@@ -47,6 +50,7 @@ var timelineKindNames = [...]string{
 	TimelineFindCycle: "find-cycle",
 	TimelineCacheHit:  "cache-hit",
 	TimelineCacheMiss: "cache-miss",
+	TimelineAnalytic:  "analytic-hit",
 }
 
 // String names the kind ("item", "cache-hit", ...).
@@ -59,7 +63,7 @@ func (k TimelineKind) String() string {
 
 // Instant reports whether the kind is an instant (no duration).
 func (k TimelineKind) Instant() bool {
-	return k == TimelineCacheHit || k == TimelineCacheMiss
+	return k == TimelineCacheHit || k == TimelineCacheMiss || k == TimelineAnalytic
 }
 
 // MarshalJSON encodes the kind by name, keeping snapshots readable.

@@ -8,7 +8,11 @@
 # legacy top-level pair/triple/section keys are preserved. The
 # conflict_composition block records the Fig. 3 reference config's
 # per-kind conflict counts from the phase-histogram benchmark, so the
-# perf trajectory also tracks conflict composition.
+# perf trajectory also tracks conflict composition. The
+# analytic_fastpath and kernel blocks track the two-level speed path
+# (docs/KERNEL.md): classifier-gate speedup on a theorem-dense census
+# and bit-packed-kernel speedup on a simulation-heavy census, both
+# against the scalar no-gate baseline with caching disabled.
 #
 # Usage: scripts/bench.sh [count]
 #   count  -benchtime iteration override, e.g. "10x" (default: 1s timed)
@@ -20,7 +24,7 @@ out="BENCH_sweep.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkSweep(Sequential|Parallel|TriplesSequential|TriplesParallel|SectionsSequential|SectionsParallel|TripleCensusTranslated|NStreamParallel)$|BenchmarkPhaseHistogram$' \
+go test -run '^$' -bench 'BenchmarkSweep(Sequential|Parallel|TriplesSequential|TriplesParallel|SectionsSequential|SectionsParallel|TripleCensusTranslated|NStreamParallel|AnalyticFastPath|KernelPacked)$|BenchmarkPhaseHistogram$' \
 	-benchmem -benchtime "$benchtime" . | tee "$raw"
 
 # Benchmark lines look like:
@@ -64,13 +68,21 @@ function metric(name,   i) {
 /^BenchmarkSweepNStreamParallel/ {
 	ns_hit = metric("stream4_cache_hit_%")
 }
+/^BenchmarkSweepAnalyticFastPath/ {
+	a_ns = metric("ns/op")
+	a_hit = metric("analytic_hit_%"); a_speedup = metric("speedup_vs_scalar")
+}
+/^BenchmarkSweepKernelPacked/ {
+	k_ns = metric("ns/op"); k_cycles = metric("cycles")
+	k_speedup = metric("speedup_vs_scalar")
+}
 /^BenchmarkPhaseHistogram/ {
 	ph_grants = metric("grants"); ph_bank = metric("bank_conflicts")
 	ph_sim = metric("simultaneous_conflicts"); ph_sec = metric("section_conflicts")
 	ph_cycle = metric("cycle_clocks")
 }
 END {
-	if (seq_ns == "" || par_ns == "" || t_par_ns == "" || s_par_ns == "" || c_base == "" || ns_hit == "" || ph_grants == "") {
+	if (seq_ns == "" || par_ns == "" || t_par_ns == "" || s_par_ns == "" || c_base == "" || ns_hit == "" || ph_grants == "" || a_ns == "" || k_ns == "") {
 		print "bench.sh: missing benchmark output" > "/dev/stderr"; exit 1
 	}
 	printf "{\n"
@@ -103,6 +115,18 @@ END {
 	printf "    \"triple\": %s,\n", t_hit
 	printf "    \"section\": %s,\n", s_hit
 	printf "    \"stream4\": %s\n", ns_hit
+	printf "  },\n"
+	printf "  \"analytic_fastpath\": {\n"
+	printf "    \"census\": \"theorem-dense grid m=32 nc=2, cache disabled\",\n"
+	printf "    \"ns_per_op\": %s,\n", a_ns
+	printf "    \"analytic_hit_rate_percent\": %s,\n", a_hit
+	printf "    \"speedup_vs_scalar\": %s\n", a_speedup
+	printf "  },\n"
+	printf "  \"kernel\": {\n"
+	printf "    \"census\": \"simulation-heavy grids m=13,16 nc=4, gate off, cache disabled\",\n"
+	printf "    \"ns_per_op\": %s,\n", k_ns
+	printf "    \"cycles_found\": %s,\n", k_cycles
+	printf "    \"speedup_vs_scalar\": %s\n", k_speedup
 	printf "  },\n"
 	printf "  \"conflict_composition\": {\n"
 	printf "    \"config\": \"fig3 barrier m=13 nc=6 d1=1 d2=6\",\n"

@@ -4,7 +4,11 @@
 # Pass package patterns to narrow the test run (default: everything).
 # The observability package is always exercised under the race
 # detector, even for narrowed runs, because its tracer counters are
-# read across goroutines.
+# read across goroutines. The simulator and sweep packages are always
+# exercised under the race detector too, including a short pass over
+# the differential equivalence harness (docs/KERNEL.md) that pins the
+# packed kernel and the analytic gate to the scalar oracle with the
+# fast path forced both on and off.
 #
 # Golden files: the exporter tests in internal/obs compare against
 # testdata/; after an intentional output change, regenerate with
@@ -36,3 +40,11 @@ go run ./internal/tools/docscheck \
 
 go test -race "$@"
 go test -race ./internal/obs/...
+go test -race ./internal/memsys ./internal/sweep
+
+# Differential equivalence harness, short mode: every Differential*
+# test pits the fast path against the reference — the packed kernel
+# clock-by-clock against the scalar oracle, and sweeps with the
+# analytic gate and packed kernel forced on against the same sweeps
+# forced off — so this pass exercises the fast path both on and off.
+go test -race -short -run Differential ./internal/memsys ./internal/sweep
