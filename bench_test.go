@@ -354,6 +354,42 @@ func BenchmarkSweepNStreamParallel(b *testing.B) {
 	b.ReportMetric(hitRate*100, "stream4_cache_hit_%")
 }
 
+// Result provenance of the EXPERIMENTS.md cross-validation grid plus
+// the four-stream family, with the attribution recorder attached: the
+// per-path split (analytic theorem / cache orbit / simulation) over
+// everything the engine resolved, and the share of stream4's orbits
+// that were simulated once and never reused — the population behind
+// its low hit rate (docs/OBSERVABILITY.md). bench.sh distils these
+// into the provenance block of BENCH_sweep.json so the perf
+// trajectory also tracks how results are being answered, not just how
+// fast.
+func BenchmarkSweepProvenance(b *testing.B) {
+	var snap sweep.ProvenanceSnapshot
+	for i := 0; i < b.N; i++ {
+		prov := sweep.NewProvenance(0)
+		eng := sweep.NewEngine(sweep.Options{Workers: 4, Provenance: prov})
+		for _, g := range sweepBenchGrid {
+			eng.Grid(g.m, g.nc)
+		}
+		eng.NStreamGrid(4, 1, 4)
+		snap = prov.Snapshot()
+	}
+	var analytic, cache, sim, resolved int64
+	for _, f := range snap.Families {
+		analytic += f.Analytic
+		cache += f.CacheHits
+		sim += f.SimScalar + f.SimPacked
+		resolved += f.Resolved
+	}
+	pct := func(n int64) float64 { return 100 * float64(n) / float64(resolved) }
+	b.ReportMetric(pct(analytic), "analytic_path_%")
+	b.ReportMetric(pct(cache), "cache_path_%")
+	b.ReportMetric(pct(sim), "sim_path_%")
+	if s4 := snap.Families["stream4"]; s4.Orbits > 0 {
+		b.ReportMetric(100*float64(s4.SingletonOrbits)/float64(s4.Orbits), "stream4_singleton_orbit_%")
+	}
+}
+
 // Per-cycle conflict composition of the Fig. 3 barrier, the
 // observability layer's reference config: the phase histogram's
 // per-kind totals over one steady-state period. bench.sh distils

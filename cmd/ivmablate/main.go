@@ -5,10 +5,12 @@
 // classical random-access baselines the introduction contrasts with.
 //
 // Observability: -metrics-out writes the engine studies' counters as
-// JSON, -metrics-addr serves them live (/metrics JSON, expvar, pprof)
-// while the studies run, and -trace-out exports the sweep workers'
-// timeline as a Chrome trace_event file for chrome://tracing or
-// Perfetto.
+// JSON, -metrics-addr serves them live (Prometheus text at /metrics,
+// JSON at /metrics.json, /healthz, expvar, pprof) while the studies
+// run, -provenance appends the result-attribution report of the
+// engine studies (which theorem, cache orbit or simulation answered
+// each placement), and -trace-out exports the sweep workers' timeline
+// as a Chrome trace_event file for chrome://tracing or Perfetto.
 package main
 
 import (
@@ -35,7 +37,8 @@ func main() {
 	analytic := flag.Bool("analytic", true, "answer theorem-provable pair placements analytically instead of simulating (results are byte-identical either way)")
 	kernelName := flag.String("kernel", "packed", "simulator kernel for the engine studies: packed (bit-packed bank-busy) or scalar (the reference oracle)")
 	metricsOut := flag.String("metrics-out", "", "write the engine studies' metrics snapshot as JSON")
-	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address: /metrics JSON, /debug/vars expvar, /debug/pprof")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address: /metrics Prometheus text, /metrics.json, /healthz, /debug/vars expvar, /debug/pprof")
+	provenanceFlag := flag.Bool("provenance", false, "print the engine studies' result-attribution report (per-family path split, theorem hits, orbit sizes)")
 	traceOut := flag.String("trace-out", "", "write the engine studies' worker timeline as Chrome trace_event JSON (open in chrome://tracing or Perfetto)")
 	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -58,32 +61,27 @@ func main() {
 	if *traceOut != "" {
 		timeline = sweep.NewTimeline(0)
 	}
+	var prov *sweep.Provenance
+	if *provenanceFlag || *metricsOut != "" || *metricsAddr != "" {
+		prov = sweep.NewProvenance(0)
+	}
 	var eng *sweep.Engine
 	engine := func() *sweep.Engine {
 		if eng == nil {
 			eng = sweep.NewEngine(sweep.Options{Workers: *workers, CacheSize: *cache, Timeline: timeline,
-				Analytic: analytic, PackedKernel: packed})
+				Analytic: analytic, PackedKernel: packed, Provenance: prov})
 		}
 		return eng
 	}
 	if *metricsAddr != "" {
-		reg := obs.NewRegistry()
 		// The engine is created lazily by the first engine study, so the
-		// source resolves it on every poll.
-		reg.Register("engine", func() any {
-			if eng == nil {
-				return nil
-			}
-			return eng.Snapshot()
-		})
-		reg.Publish("ivmablate")
-		addr, closer, err := reg.Serve(*metricsAddr)
+		// metrics sources resolve it on every poll.
+		closer, err := obs.ServeMetrics("ivmablate", *metricsAddr, func() *sweep.Engine { return eng }, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		defer closer.Close()
-		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", addr)
 	}
 	if *study == "pairs" || *study == "all" {
 		pairs(engine())
@@ -122,6 +120,11 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown study %q\n", *study)
 		os.Exit(1)
+	}
+	if *provenanceFlag && eng != nil {
+		fmt.Println("== result provenance of the engine studies")
+		fmt.Print(prov.Snapshot().Table())
+		fmt.Println()
 	}
 	if *metricsOut != "" && eng != nil {
 		snap := eng.Snapshot()

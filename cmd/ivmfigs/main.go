@@ -1,6 +1,11 @@
 // Command ivmfigs regenerates Figures 2-9 of Oed & Lange (1985):
 // paper-style bank/clock timelines plus the measured steady-state
 // effective bandwidth of each example.
+//
+// Observability: the shared -cpuprofile/-memprofile/-trace flags
+// profile the run, and -metrics-addr serves the shared debug
+// endpoints (/metrics Prometheus liveness, /healthz, expvar, pprof)
+// while it executes.
 package main
 
 import (
@@ -9,13 +14,31 @@ import (
 	"os"
 
 	"ivm/internal/figures"
+	"ivm/internal/obs"
+	"ivm/internal/obs/profile"
 	"ivm/internal/trace"
 )
 
 func main() {
 	fig := flag.String("fig", "", "figure id (2..9, 8a, 8b); empty = all")
 	clocks := flag.Int64("clocks", 34, "timeline width in clock periods")
+	metricsAddr := flag.String("metrics-addr", "", "serve liveness and debug endpoints on this address: /metrics Prometheus text, /healthz, /debug/vars expvar, /debug/pprof")
+	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	stop, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *metricsAddr != "" {
+		closer, err := obs.ServeMetrics("ivmfigs", *metricsAddr, nil, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer closer.Close()
+	}
 
 	figs := figures.All()
 	if *fig != "" {
@@ -41,4 +64,8 @@ func main() {
 		fmt.Printf("\n%s\n\n", f.Outcome)
 	}
 	fmt.Println(trace.Legend())
+	if err := stop(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

@@ -6,11 +6,14 @@
 //
 // The grid sweeps run on the parallel sweep engine (-workers/-cache);
 // the report is byte-identical to the sequential path apart from the
-// appended engine-counter section. -metrics-out captures the engine
-// snapshot (cache hit rate, per-worker utilisation) as JSON,
-// -metrics-addr serves it live (/metrics JSON, expvar, pprof) while
-// the report generates, and the shared -cpuprofile/-memprofile/-trace
-// flags profile the run.
+// appended engine-counter and result-provenance sections (the latter
+// attributes every grid placement to the theorem, cache orbit or
+// simulation that answered it; -provenance=false drops it).
+// -metrics-out captures the engine snapshot (cache hit rate,
+// per-worker utilisation, provenance) as JSON, -metrics-addr serves it
+// live (Prometheus text at /metrics, JSON at /metrics.json, /healthz,
+// expvar, pprof) while the report generates, and the shared
+// -cpuprofile/-memprofile/-trace flags profile the run.
 package main
 
 import (
@@ -31,7 +34,8 @@ func main() {
 	analytic := flag.Bool("analytic", true, "answer theorem-provable pair placements analytically instead of simulating (results are byte-identical either way)")
 	kernelName := flag.String("kernel", "packed", "simulator kernel: packed (bit-packed bank-busy) or scalar (the reference oracle)")
 	metricsOut := flag.String("metrics-out", "", "write the engine metrics snapshot as JSON to this file")
-	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address: /metrics JSON, /debug/vars expvar, /debug/pprof")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address: /metrics Prometheus text, /metrics.json, /healthz, /debug/vars expvar, /debug/pprof")
+	provenanceFlag := flag.Bool("provenance", true, "record result provenance and append the attribution section to the report")
 	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -49,19 +53,19 @@ func main() {
 	if *fast {
 		opts = report.Fast()
 	}
+	var prov *sweep.Provenance
+	if *provenanceFlag {
+		prov = sweep.NewProvenance(0)
+	}
 	eng := sweep.NewEngine(sweep.Options{Workers: *workers, CacheSize: *cache,
-		Analytic: analytic, PackedKernel: packed})
+		Analytic: analytic, PackedKernel: packed, Provenance: prov})
 	opts.Engine = eng
 	if *metricsAddr != "" {
-		reg := obs.NewRegistry()
-		reg.Register("engine", func() any { return eng.Snapshot() })
-		reg.Publish("ivmreport")
-		addr, closer, err := reg.Serve(*metricsAddr)
+		closer, err := obs.ServeMetrics("ivmreport", *metricsAddr, func() *sweep.Engine { return eng }, nil)
 		if err != nil {
 			fail(err)
 		}
 		defer closer.Close()
-		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", addr)
 	}
 
 	if err := report.Write(os.Stdout, opts); err != nil {

@@ -15,10 +15,17 @@
 // pair (-trace-pair); -csv-out writes that pair's window as CSV,
 // -strip prints its bank-occupancy strip chart; -metrics-out writes a
 // JSON snapshot of the engine counters (cache hit rate, per-worker
-// utilisation, and the worker timeline when traced) and -metrics-addr
-// serves them live (plus expvar and pprof) while the sweep runs.
-// -cpuprofile/-memprofile/-trace write pprof/runtime profiles of the
-// whole run.
+// utilisation, the worker timeline when traced, and the provenance
+// attribution when recorded) and -metrics-addr serves them live while
+// the sweep runs: Prometheus text exposition at /metrics, the JSON
+// view at /metrics.json, /healthz, expvar and pprof (-metrics-linger
+// keeps the server up after the sweeps so a scraper can read the final
+// counters). -provenance appends the result-attribution report — which
+// theorem, cache orbit or simulation answered each placement, and
+// which orbits a low hit rate hides — and -provenance-csv exports it
+// in long form; -progress prints a live status line (items/s, ETA,
+// path split) at the given period. -cpuprofile/-memprofile/-trace
+// write pprof/runtime profiles of the whole run.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"ivm/internal/memsys"
 	"ivm/internal/obs"
@@ -52,8 +60,12 @@ func main() {
 	csvOut := flag.String("csv-out", "", "write the traced pair's event timeline as CSV")
 	tracePair := flag.String("trace-pair", "1:2:0", "pair to trace as d1:d2[:b2]")
 	strip := flag.Bool("strip", false, "print the traced pair's bank-occupancy strip chart")
-	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot (engine counters, per-worker utilisation, stats, trace totals)")
-	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address: /metrics JSON, /debug/vars expvar, /debug/pprof")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot (engine counters, per-worker utilisation, stats, trace totals, provenance)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address: /metrics Prometheus text, /metrics.json, /healthz, /debug/vars expvar, /debug/pprof")
+	metricsLinger := flag.Duration("metrics-linger", 0, "keep the -metrics-addr server up this long after the sweeps finish (lets a scraper read the final counters)")
+	provenanceFlag := flag.Bool("provenance", false, "print the result-attribution report: per-family path split, per-theorem analytic hits, orbit sizes and the top unexplained orbits")
+	provenanceCSV := flag.String("provenance-csv", "", "write the result-attribution report as long-form CSV")
+	progressEvery := flag.Duration("progress", 0, "print a live progress line (items/s, ETA, path split) to stderr at this period; 0 disables")
 	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -79,27 +91,51 @@ func main() {
 	if *traceOut != "" {
 		timeline = sweep.NewTimeline(0)
 	}
+	// Attach the provenance recorder whenever anything will read it:
+	// the attribution report, its CSV export, the JSON snapshot, or the
+	// live Prometheus endpoint. Detached it would cost nothing, but
+	// would also explain nothing.
+	var prov *sweep.Provenance
+	if *provenanceFlag || *provenanceCSV != "" || *metricsOut != "" || *metricsAddr != "" {
+		prov = sweep.NewProvenance(0)
+	}
+	var prog *obs.Progress
+	if *progressEvery > 0 || *metricsAddr != "" {
+		prog = obs.NewProgress(prov)
+	}
 	eng := sweep.NewEngine(sweep.Options{
 		Workers: *workers, CacheSize: *cache, CollectStats: *showStats,
 		SectionFullUnits: fullUnits, Timeline: timeline,
 		Analytic: analytic, PackedKernel: packed,
+		Provenance: prov, Progress: progressSink(prog),
 	})
 	if *metricsAddr != "" {
-		reg := obs.NewRegistry()
-		reg.Register("engine", func() any { return eng.Snapshot() })
-		reg.Publish("ivmsweep")
-		addr, closer, err := reg.Serve(*metricsAddr)
+		closer, err := obs.ServeMetrics("ivmsweep", *metricsAddr, func() *sweep.Engine { return eng }, prog)
 		if err != nil {
 			fail("%v", err)
 		}
 		defer closer.Close()
-		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", addr)
+	}
+	if *progressEvery > 0 {
+		stopProgress := prog.Start(os.Stderr, *progressEvery)
+		defer stopProgress()
 	}
 
 	runSweeps(eng, *m, *nc, *secs, *streams, *triples, *census, *full)
 
 	fmt.Println()
 	fmt.Print(eng.Metrics().Table())
+	if *provenanceFlag {
+		fmt.Println()
+		fmt.Print(prov.Snapshot().Table())
+	}
+	if *provenanceCSV != "" {
+		if err := writeFile(*provenanceCSV, func(w *os.File) error {
+			return prov.Snapshot().WriteCSV(w)
+		}); err != nil {
+			fail("%v", err)
+		}
+	}
 	col := eng.Stats()
 	if col != nil {
 		fmt.Println()
@@ -154,9 +190,22 @@ func main() {
 			fail("%v", err)
 		}
 	}
+	if *metricsAddr != "" && *metricsLinger > 0 {
+		fmt.Fprintf(os.Stderr, "metrics server lingering for %s\n", *metricsLinger)
+		time.Sleep(*metricsLinger)
+	}
 	if err := stop(); err != nil {
 		fail("%v", err)
 	}
+}
+
+// progressSink adapts a possibly-nil tracker to the engine's sink
+// interface without boxing a typed nil into a non-nil interface.
+func progressSink(p *obs.Progress) sweep.ProgressSink {
+	if p == nil {
+		return nil
+	}
+	return p
 }
 
 // sweepFlags collects the mutually exclusive sweep-family selectors

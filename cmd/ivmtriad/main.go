@@ -8,14 +8,22 @@
 // infinite streams on a 16-bank n_c = 4 memory, swept over all
 // relative placements against core.MultiStreamBound on the cached
 // sweep engine (-workers/-cache).
+//
+// Observability: the shared -cpuprofile/-memprofile/-trace flags
+// profile the run, and -metrics-addr serves the live endpoints
+// (Prometheus text at /metrics — including the -bounds engine's
+// counters — /metrics.json, /healthz, expvar, pprof) while it runs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"ivm/internal/explain"
 	"ivm/internal/machine"
+	"ivm/internal/obs"
+	"ivm/internal/obs/profile"
 	"ivm/internal/sweep"
 	"ivm/internal/xmp"
 )
@@ -30,6 +38,8 @@ func main() {
 	cache := flag.Int("cache", sweep.DefaultCacheSize, "cyclic-state cache entries for -bounds, shared by pair, triple and section sweeps; negative disables caching")
 	analytic := flag.Bool("analytic", true, "answer theorem-provable pair placements analytically instead of simulating (results are byte-identical either way)")
 	kernelName := flag.String("kernel", "packed", "simulator kernel for -bounds: packed (bit-packed bank-busy) or scalar (the reference oracle)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address: /metrics Prometheus text, /metrics.json, /healthz, /debug/vars expvar, /debug/pprof")
+	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	packed, err := sweep.KernelOption(*kernelName)
@@ -37,6 +47,24 @@ func main() {
 		fmt.Println(err)
 		flag.Usage()
 		return
+	}
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// The engine exists only when -bounds runs; the metrics sources
+	// resolve it lazily on every poll.
+	var eng *sweep.Engine
+	if *metricsAddr != "" {
+		closer, err := obs.ServeMetrics("ivmtriad", *metricsAddr, func() *sweep.Engine { return eng }, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer closer.Close()
 	}
 
 	cfg := machine.DefaultConfig()
@@ -63,7 +91,7 @@ func main() {
 	}
 
 	if *bounds {
-		eng := sweep.NewEngine(sweep.Options{Workers: *workers, CacheSize: *cache,
+		eng = sweep.NewEngine(sweep.Options{Workers: *workers, CacheSize: *cache,
 			Analytic: analytic, PackedKernel: packed})
 		fmt.Printf("\nIdealised triad streams (INC,INC,INC) on m=16 n_c=4, all relative placements:\n")
 		fmt.Printf("%-4s %12s %12s %12s %12s %10s\n", "INC", "bound min", "bound max", "sim min", "sim max", "tight")
@@ -76,5 +104,10 @@ func main() {
 		tf := m.Family("triple")
 		fmt.Printf("engine: %d placements, %.0f%% cache hits\n",
 			tf.Hits+tf.Misses, m.TripleHitRate()*100)
+	}
+
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -36,6 +36,7 @@ const (
 	RegimeConflicting
 )
 
+// String names the regime ("conflict-free", "unique-barrier", ...).
 func (r Regime) String() string {
 	switch r {
 	case RegimeSelfConflict:

@@ -1,0 +1,52 @@
+package obs
+
+// Shared -metrics-addr wiring for the CLIs: one call builds the
+// registry, connects the engine's JSON and Prometheus sources (lazily,
+// so commands that build their engine on demand can pass a resolver),
+// attaches an optional progress tracker, publishes expvar, starts the
+// server and announces the endpoints on stderr.
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"ivm/internal/sweep"
+)
+
+// ServeMetrics starts the live metrics server for a CLI run and
+// returns its closer. name keys the expvar publication; engine
+// resolves the sweep engine on every poll (nil, or returning nil,
+// serves only the liveness gauge plus expvar/pprof); prog optionally
+// adds the progress tracker's JSON and Prometheus views. The endpoint
+// summary is printed to stderr so an operator can copy the scrape URL.
+func ServeMetrics(name, addr string, engine func() *sweep.Engine, prog *Progress) (io.Closer, error) {
+	reg := NewRegistry()
+	if engine != nil {
+		reg.Register("engine", func() any {
+			if eng := engine(); eng != nil {
+				return eng.Snapshot()
+			}
+			return nil
+		})
+		reg.RegisterProm("sweep", func() []PromMetric {
+			if eng := engine(); eng != nil {
+				return SweepPromMetrics(eng)()
+			}
+			return nil
+		})
+	}
+	if prog != nil {
+		reg.Register("progress", func() any { return prog.Snapshot() })
+		reg.RegisterProm("progress", prog.PromMetrics)
+	}
+	reg.Publish(name)
+	bound, closer, err := reg.Serve(addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr,
+		"serving metrics on http://%s/metrics (Prometheus text; /metrics.json, /healthz, /debug/vars, /debug/pprof)\n",
+		bound)
+	return closer, nil
+}

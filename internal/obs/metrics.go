@@ -64,11 +64,14 @@ func WriteSnapshotFile(path string, s Snapshot) error {
 
 // Registry is a live metrics endpoint: named sources are polled on
 // every request, so a long sweep can be watched while it runs. It
-// serves its own JSON (ServeHTTP), and Serve additionally mounts
-// expvar under /debug/vars and net/http/pprof under /debug/pprof.
+// serves its own JSON (ServeHTTP); Serve mounts the Prometheus text
+// exposition at /metrics, the JSON view at /metrics.json, a liveness
+// probe at /healthz, expvar under /debug/vars and net/http/pprof under
+// /debug/pprof.
 type Registry struct {
-	mu      sync.Mutex
-	sources map[string]func() any
+	mu          sync.Mutex
+	sources     map[string]func() any
+	promSources map[string]func() []PromMetric
 }
 
 // NewRegistry returns an empty registry.
@@ -121,16 +124,23 @@ func (r *Registry) Publish(name string) {
 }
 
 // Serve starts an HTTP server on addr (e.g. "localhost:6060", or
-// ":0" to pick a port) exposing the registry at /metrics, expvar at
-// /debug/vars and pprof at /debug/pprof/. It returns the bound
-// address and a closer; the server runs until closed.
+// ":0" to pick a port) exposing the Prometheus text exposition at
+// /metrics, the gathered JSON view at /metrics.json, a liveness probe
+// at /healthz, expvar at /debug/vars and pprof at /debug/pprof/. It
+// returns the bound address and a closer; the server runs until
+// closed.
 func (r *Registry) Serve(addr string) (boundAddr string, closer io.Closer, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("obs: metrics listener: %w", err)
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", r)
+	mux.Handle("/metrics", r.PromHandler())
+	mux.Handle("/metrics.json", r)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n") //nolint:errcheck // client gone
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)

@@ -203,7 +203,7 @@ func TestRegistryServeEndToEnd(t *testing.T) {
 	}
 	defer closer.Close()
 
-	for _, path := range []string{"/metrics", "/debug/vars"} {
+	for _, path := range []string{"/metrics.json", "/debug/vars"} {
 		resp, err := http.Get("http://" + addr + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
@@ -216,5 +216,33 @@ func TestRegistryServeEndToEnd(t *testing.T) {
 		if !json.Valid(body) {
 			t.Errorf("GET %s: not JSON: %.80s", path, body)
 		}
+	}
+
+	// /metrics is the Prometheus text exposition, live even with no
+	// registered sources thanks to the ivm_up gauge.
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{"# TYPE ivm_up gauge", "ivm_up 1"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics lacks %q:\n%s", want, body)
+		}
+	}
+
+	// /healthz is the liveness probe.
+	resp, err = http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Errorf("/healthz: status %d body %q", resp.StatusCode, body)
 	}
 }

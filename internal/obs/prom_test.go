@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+
+	"ivm/internal/sweep"
+)
+
+// TestWritePromTextGolden pins the exposition format byte-for-byte:
+// HELP/TYPE headers, name-sorted metric families, label escaping and
+// shortest-float values. scripts/check.sh greps a live scrape for the
+// same header lines.
+func TestWritePromTextGolden(t *testing.T) {
+	metrics := []PromMetric{
+		Counter("zeta_total", "Last by name.", 3),
+		Gauge("alpha_ratio", "A ratio in [0,1].", 0.25),
+		{
+			Name: "beta_bytes", Help: `Help with backslash \ and
+newline.`, Type: "counter",
+			Samples: []PromSample{
+				{Labels: []PromLabel{{"family", "pair"}, {"path", `quo"te`}}, Value: 42},
+				{Labels: []PromLabel{{"family", "stream4"}}, Value: 7},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WritePromText(&buf, metrics); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP alpha_ratio A ratio in [0,1].
+# TYPE alpha_ratio gauge
+alpha_ratio 0.25
+# HELP beta_bytes Help with backslash \\ and\nnewline.
+# TYPE beta_bytes counter
+beta_bytes{family="pair",path="quo\"te"} 42
+beta_bytes{family="stream4"} 7
+# HELP zeta_total Last by name.
+# TYPE zeta_total counter
+zeta_total 3
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition drifted:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPromValueSpecials(t *testing.T) {
+	for v, want := range map[float64]string{
+		math.NaN():     "NaN",
+		math.Inf(1):    "+Inf",
+		math.Inf(-1):   "-Inf",
+		1.5:            "1.5",
+		0:              "0",
+		12345678901234: "1.2345678901234e+13",
+	} {
+		if got := promValue(v); got != want {
+			t.Errorf("promValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// Same-name metrics from different sources merge their samples under
+// one HELP/TYPE header (Prometheus rejects duplicate family headers).
+func TestWritePromTextMergesDuplicates(t *testing.T) {
+	var buf bytes.Buffer
+	err := WritePromText(&buf, []PromMetric{
+		Counter("dup_total", "First wins.", 1),
+		Counter("dup_total", "Ignored.", 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "# TYPE dup_total") != 1 {
+		t.Errorf("duplicate TYPE headers:\n%s", out)
+	}
+	samples := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "dup_total ") {
+			samples++
+		}
+	}
+	if samples != 2 {
+		t.Errorf("merged samples lost:\n%s", out)
+	}
+}
+
+// expositionLine matches every legal line of the text format we emit.
+var expositionLine = regexp.MustCompile(`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.e+-]+|NaN|[+-]Inf))$`)
+
+// checkExposition validates every line of a rendered exposition and
+// that each sample family is preceded by its TYPE header.
+func checkExposition(t *testing.T, out string) {
+	t.Helper()
+	typed := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if !expositionLine.MatchString(line) {
+			t.Errorf("malformed exposition line %q", line)
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			typed[strings.Fields(rest)[0]] = true
+			continue
+		}
+		if !strings.HasPrefix(line, "#") {
+			name := line
+			if i := strings.IndexAny(line, "{ "); i >= 0 {
+				name = line[:i]
+			}
+			if !typed[name] {
+				t.Errorf("sample %q before its TYPE header", line)
+			}
+		}
+	}
+}
+
+// TestSweepPromMetricsLive renders a real engine with provenance
+// through the Prometheus source and validates the full exposition,
+// including the attribution metrics.
+func TestSweepPromMetricsLive(t *testing.T) {
+	prov := sweep.NewProvenance(0)
+	eng := sweep.NewEngine(sweep.Options{Workers: 2, Provenance: prov})
+	eng.Grid(13, 4)
+	eng.NStreamGrid(4, 1, 4)
+
+	reg := NewRegistry()
+	reg.RegisterProm("sweep", SweepPromMetrics(eng))
+	var buf bytes.Buffer
+	if err := WritePromText(&buf, reg.GatherProm()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	checkExposition(t, out)
+	for _, want := range []string{
+		"ivm_up 1",
+		"# TYPE ivm_sweep_units_total counter",
+		"# TYPE ivm_sweep_cache_hit_ratio gauge",
+		`ivm_sweep_family_cache_hits_total{family="pair"}`,
+		`ivm_sweep_family_cache_hits_total{family="stream4"}`,
+		`ivm_provenance_path_total{family="pair",path="analytic"}`,
+		`ivm_provenance_path_total{family="stream4",path="sim-packed"}`,
+		`ivm_provenance_singleton_orbits{family="stream4"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+	// The conservation invariant must be visible to a scraper: the four
+	// path samples of each family sum to the placements the engine
+	// resolved for it.
+	m := eng.Metrics()
+	for _, fam := range []string{"pair", "stream4"} {
+		var sum float64
+		for _, path := range []string{"analytic", "cache", "sim-scalar", "sim-packed"} {
+			re := regexp.MustCompile(fmt.Sprintf(`ivm_provenance_path_total\{family=%q,path=%q\} (\S+)`, fam, path))
+			match := re.FindStringSubmatch(out)
+			if match == nil {
+				t.Fatalf("no %s/%s path sample", fam, path)
+			}
+			var v float64
+			fmt.Sscanf(match[1], "%g", &v)
+			sum += v
+		}
+		f := m.Family(fam)
+		if want := float64(f.Hits + f.Misses + f.Analytic); sum != want {
+			t.Errorf("%s: scraped path sum %g != engine resolved %g", fam, sum, want)
+		}
+	}
+}

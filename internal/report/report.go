@@ -70,12 +70,21 @@ func Write(w io.Writer, opts Options) error {
 	return nil
 }
 
-// Engine appends the sweep-engine counter section (parallel runs).
+// Engine appends the sweep-engine counter section (parallel runs),
+// followed by the result-attribution section when the engine records
+// provenance: the per-family path split, the theorems doing the
+// analytic work, and the orbit population behind each hit rate.
 func Engine(w io.Writer, eng *sweep.Engine) {
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "## Sweep engine")
 	fmt.Fprintln(w)
 	fmt.Fprint(w, eng.Metrics().Table())
+	if prov := eng.Options().Provenance; prov != nil {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "## Result provenance")
+		fmt.Fprintln(w)
+		fmt.Fprint(w, prov.Snapshot().Table())
+	}
 }
 
 // Figures writes the Figures 2–9 table.

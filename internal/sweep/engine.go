@@ -49,6 +49,17 @@ type Options struct {
 	// simulation slices) for Chrome-trace export; nil (the default)
 	// records nothing and costs the hot path nothing.
 	Timeline *Timeline
+	// Provenance, when non-nil, records which path resolved every
+	// placement — analytic gate (with the theorem identifier), cache
+	// hit (with the canonical key), or simulation (with the kernel,
+	// cycle length and clocks) — for the attribution reports; nil (the
+	// default) records nothing and costs the hot path nothing, exactly
+	// like Timeline.
+	Provenance *Provenance
+	// Progress, when non-nil, receives the engine's work-item totals
+	// (one Add per sweep call, one Done per completed item) so a live
+	// reporter can show items/s and an ETA; nil is off and free.
+	Progress ProgressSink
 	// Analytic enables the theorem-driven classifier gate in the sweep
 	// hot path: sectionless two-stream placements whose regime has a
 	// start-independent closed form (Theorem 3 conflict-free, Theorems
@@ -76,6 +87,17 @@ type Options struct {
 	// Point at false to restrict canonicalisation to the conservative
 	// subgroup u ≡ 1 (mod s) that fixes every section (the PR 3 key).
 	SectionFullUnits *bool
+}
+
+// ProgressSink receives the engine's work-item progress. It is
+// implemented by obs.Progress; the indirection keeps internal/sweep
+// free of an obs dependency (obs imports sweep). Implementations must
+// be safe for concurrent use.
+type ProgressSink interface {
+	// Add grows the expected work-item total (called once per sweep).
+	Add(total int64)
+	// Done marks n work items completed.
+	Done(n int64)
 }
 
 // sectionFullUnits reports whether sectioned canonicalisation may scale
@@ -444,6 +466,10 @@ func (e *Engine) run(n int, f func(w *worker, i int)) {
 	start := time.Now()
 	defer func() { e.wallNS.Add(time.Since(start).Nanoseconds()) }()
 	tl := e.opt.Timeline
+	progress := e.opt.Progress
+	if progress != nil {
+		progress.Add(int64(n))
+	}
 	work := func(w *worker, i int) {
 		t0 := time.Now()
 		ts := tl.Start()
@@ -451,6 +477,9 @@ func (e *Engine) run(n int, f func(w *worker, i int)) {
 		w.busyNS += time.Since(t0).Nanoseconds()
 		w.items++
 		tl.Slice(w.id, TimelineItem, ts, i, "")
+		if progress != nil {
+			progress.Done(1)
+		}
 	}
 	workers := e.workers()
 	if workers > n {
@@ -743,7 +772,10 @@ type compiledSpec struct {
 	// gate is the analytic fast path for this spec, or nil when the
 	// spec is outside the theorems' model (sectioned, not two streams)
 	// or the classifier has no start-independent closed form for it.
-	gate *core.PairGate
+	// gateTheorem is the gate's theorem identifier for provenance
+	// records, compiled once beside it.
+	gate        *core.PairGate
+	gateTheorem string
 
 	// vec is the (d_1..d_N, b_1..b_N) canonicalisation scratch; b is
 	// the start-vector scratch handed to bw by the sweep adapters.
@@ -783,6 +815,7 @@ func (w *worker) compile(spec ConfigSpec) *compiledSpec {
 	if w.e.opt.analytic() && spec.S == 0 && n == 2 {
 		if g := core.NewPairGate(spec.M, spec.NC, spec.Streams[0].D, spec.Streams[1].D); g.Active() {
 			cs.gate = &g
+			cs.gateTheorem = g.TheoremID()
 		}
 	}
 	return cs
@@ -835,20 +868,25 @@ func (cs *compiledSpec) tripleBW(w *worker) func(b2, b3 int) rat.Rational {
 func (w *worker) bw(cs *compiledSpec, b []int) rat.Rational {
 	e := w.e
 	tl := e.opt.Timeline
+	prov := e.opt.Provenance
 	if cs.gate != nil {
 		if v, ok := cs.gate.BandwidthAt(b[0], b[1]); ok {
 			cs.counter.analytic.Add(1)
 			tl.Instant(w.id, TimelineAnalytic, -1, cs.family)
+			prov.Analytic(cs.family, cs.gateTheorem)
 			return v
 		}
 	}
+	packed := e.opt.kernel() == memsys.KernelPacked
 	if e.cache == nil {
 		n := len(cs.spec.Streams)
 		for i, st := range cs.spec.Streams {
 			cs.vec[i] = st.D
 		}
 		copy(cs.vec[n:], b)
-		return w.simulate(cs, cs.vec)
+		bw, c := w.simulate(cs, cs.vec)
+		prov.Simulated(cs.family, cs.spec.M, cs.spec.S, cs.spec.NC, cs.vec, packed, c.Length, c.Lead+c.Length)
+		return bw
 	}
 	ts := tl.Start()
 	key := cs.key(b)
@@ -856,13 +894,15 @@ func (w *worker) bw(cs *compiledSpec, b []int) rat.Rational {
 	if bw, ok := e.cache.get(key); ok {
 		e.hit(cs.counter, key)
 		tl.Instant(w.id, TimelineCacheHit, -1, cs.family)
+		prov.CacheHit(cs.family, cs.spec.M, cs.spec.S, cs.spec.NC, cs.vec)
 		return bw
 	}
 	e.miss(cs.counter)
 	tl.Instant(w.id, TimelineCacheMiss, -1, cs.family)
 	ts = tl.Start()
-	bw := w.simulate(cs, cs.vec)
+	bw, c := w.simulate(cs, cs.vec)
 	tl.Slice(w.id, TimelineSimulate, ts, -1, cs.family)
+	prov.Simulated(cs.family, cs.spec.M, cs.spec.S, cs.spec.NC, cs.vec, packed, c.Length, c.Lead+c.Length)
 	e.cache.put(key, bw)
 	return bw
 }
@@ -877,10 +917,11 @@ func (e *Engine) hit(c *familyCounter, key cacheKey) {
 func (e *Engine) miss(c *familyCounter) { c.misses.Add(1) }
 
 // simulate runs the compiled spec at configuration vector v on the
-// worker's reusable simulator.
-func (w *worker) simulate(cs *compiledSpec, v []int) rat.Rational {
+// worker's reusable simulator, returning the bandwidth and the
+// detected steady state (for provenance records).
+func (w *worker) simulate(cs *compiledSpec, v []int) (rat.Rational, memsys.Cycle) {
 	sys := w.system(cs.cfg)
 	addSpecStreams(sys, cs.spec, v)
 	c := w.findCycle(sys, describeSpec(cs.spec, v))
-	return c.EffectiveBandwidth()
+	return c.EffectiveBandwidth(), c
 }

@@ -51,6 +51,12 @@ type Snapshot struct {
 	// existed ignore them.
 	TimelineEvents  []TimelineEvent `json:"timeline_events,omitempty"`
 	TimelineDropped int64           `json:"timeline_dropped,omitempty"`
+	// Provenance holds the aggregated result-attribution view when
+	// Options.Provenance was set (absent otherwise): per-family path
+	// splits, per-theorem analytic hits, orbit-size histograms and the
+	// top unexplained orbits. Readers built before this field existed
+	// ignore it.
+	Provenance *ProvenanceSnapshot `json:"provenance,omitempty"`
 }
 
 // Snapshot captures the engine's counters and per-worker utilisation.
@@ -85,6 +91,10 @@ func (e *Engine) Snapshot() Snapshot {
 	if tl := e.opt.Timeline; tl != nil {
 		s.TimelineEvents = tl.Events()
 		s.TimelineDropped = tl.Dropped()
+	}
+	if prov := e.opt.Provenance; prov != nil {
+		ps := prov.Snapshot()
+		s.Provenance = &ps
 	}
 	for i := range s.PerWorker {
 		if s.WallNS > 0 {

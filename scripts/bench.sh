@@ -12,10 +12,24 @@
 # analytic_fastpath and kernel blocks track the two-level speed path
 # (docs/KERNEL.md): classifier-gate speedup on a theorem-dense census
 # and bit-packed-kernel speedup on a simulation-heavy census, both
-# against the scalar no-gate baseline with caching disabled.
+# against the scalar no-gate baseline with caching disabled. The
+# provenance block records the result-attribution split (percent of
+# placements answered analytically, from the cache, or by simulation)
+# plus the share of stream4 orbits simulated once and never reused
+# (docs/OBSERVABILITY.md).
 #
 # Usage: scripts/bench.sh [count]
 #   count  -benchtime iteration override, e.g. "10x" (default: 1s timed)
+#
+# Compare two runs (e.g. before/after a change) with the regression
+# gate:
+#   scripts/bench.sh && mv BENCH_sweep.json BENCH_old.json
+#   ... apply change ...
+#   scripts/bench.sh
+#   go run ./scripts/benchdiff.go BENCH_old.json BENCH_sweep.json
+# benchdiff prints a per-metric delta table and exits nonzero when any
+# ns_per_op metric regresses by more than the -threshold percentage
+# (default 10%).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,7 +38,7 @@ out="BENCH_sweep.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkSweep(Sequential|Parallel|TriplesSequential|TriplesParallel|SectionsSequential|SectionsParallel|TripleCensusTranslated|NStreamParallel|AnalyticFastPath|KernelPacked)$|BenchmarkPhaseHistogram$' \
+go test -run '^$' -bench 'BenchmarkSweep(Sequential|Parallel|TriplesSequential|TriplesParallel|SectionsSequential|SectionsParallel|TripleCensusTranslated|NStreamParallel|AnalyticFastPath|KernelPacked|Provenance)$|BenchmarkPhaseHistogram$' \
 	-benchmem -benchtime "$benchtime" . | tee "$raw"
 
 # Benchmark lines look like:
@@ -76,13 +90,18 @@ function metric(name,   i) {
 	k_ns = metric("ns/op"); k_cycles = metric("cycles")
 	k_speedup = metric("speedup_vs_scalar")
 }
+/^BenchmarkSweepProvenance/ {
+	pr_ns = metric("ns/op")
+	pr_analytic = metric("analytic_path_%"); pr_cache = metric("cache_path_%")
+	pr_sim = metric("sim_path_%"); pr_singleton = metric("stream4_singleton_orbit_%")
+}
 /^BenchmarkPhaseHistogram/ {
 	ph_grants = metric("grants"); ph_bank = metric("bank_conflicts")
 	ph_sim = metric("simultaneous_conflicts"); ph_sec = metric("section_conflicts")
 	ph_cycle = metric("cycle_clocks")
 }
 END {
-	if (seq_ns == "" || par_ns == "" || t_par_ns == "" || s_par_ns == "" || c_base == "" || ns_hit == "" || ph_grants == "" || a_ns == "" || k_ns == "") {
+	if (seq_ns == "" || par_ns == "" || t_par_ns == "" || s_par_ns == "" || c_base == "" || ns_hit == "" || ph_grants == "" || a_ns == "" || k_ns == "" || pr_ns == "") {
 		print "bench.sh: missing benchmark output" > "/dev/stderr"; exit 1
 	}
 	printf "{\n"
@@ -127,6 +146,16 @@ END {
 	printf "    \"ns_per_op\": %s,\n", k_ns
 	printf "    \"cycles_found\": %s,\n", k_cycles
 	printf "    \"speedup_vs_scalar\": %s\n", k_speedup
+	printf "  },\n"
+	printf "  \"provenance\": {\n"
+	printf "    \"census\": \"cross-validation pair grids + stream4, recorder attached\",\n"
+	printf "    \"ns_per_op\": %s,\n", pr_ns
+	printf "    \"path_percent\": {\n"
+	printf "      \"analytic\": %s,\n", pr_analytic
+	printf "      \"cache\": %s,\n", pr_cache
+	printf "      \"sim\": %s\n", pr_sim
+	printf "    },\n"
+	printf "    \"stream4_singleton_orbit_percent\": %s\n", pr_singleton
 	printf "  },\n"
 	printf "  \"conflict_composition\": {\n"
 	printf "    \"config\": \"fig3 barrier m=13 nc=6 d1=1 d2=6\",\n"

@@ -1,0 +1,149 @@
+// Command benchdiff compares two BENCH_sweep.json files produced by
+// scripts/bench.sh and gates on performance regressions: it flattens
+// both files into dotted metric paths, prints a per-metric delta
+// table, and exits nonzero when any ns_per_op metric in the new file
+// is slower than the old one by more than -threshold percent.
+// Non-timing metrics (hit rates, speedups, path percentages, conflict
+// counts) are reported for context but never fail the gate — they
+// track scientific quantities whose "good" direction depends on the
+// change under test.
+//
+// Usage:
+//
+//	go run ./scripts/benchdiff.go [-threshold 10] OLD.json NEW.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "maximum allowed ns_per_op regression in percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldM, err := loadMetrics(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	newM, err := loadMetrics(flag.Arg(1))
+	if err != nil {
+		fail(err)
+	}
+
+	keys := make(map[string]bool, len(oldM)+len(newM))
+	for k := range oldM {
+		keys[k] = true
+	}
+	for k := range newM {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	w := 0
+	for _, k := range sorted {
+		if len(k) > w {
+			w = len(k)
+		}
+	}
+	var regressions []string
+	fmt.Printf("%-*s %14s %14s %9s\n", w, "metric", "old", "new", "delta")
+	for _, k := range sorted {
+		ov, inOld := oldM[k]
+		nv, inNew := newM[k]
+		switch {
+		case !inOld:
+			fmt.Printf("%-*s %14s %14s %9s\n", w, k, "-", fmtVal(nv), "new")
+		case !inNew:
+			fmt.Printf("%-*s %14s %14s %9s\n", w, k, fmtVal(ov), "-", "gone")
+		default:
+			delta := "n/a"
+			var pctChange float64
+			if ov != 0 {
+				pctChange = 100 * (nv - ov) / ov
+				delta = fmt.Sprintf("%+.1f%%", pctChange)
+			}
+			mark := ""
+			if timingMetric(k) && ov != 0 && pctChange > *threshold {
+				mark = "  REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %s -> %s (%+.1f%% > %.1f%%)", k, fmtVal(ov), fmtVal(nv), pctChange, *threshold))
+			}
+			fmt.Printf("%-*s %14s %14s %9s%s\n", w, k, fmtVal(ov), fmtVal(nv), delta, mark)
+		}
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchdiff: %d timing regression(s) beyond %.1f%%:\n", len(regressions), *threshold)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchdiff: no ns_per_op regression beyond %.1f%%\n", *threshold)
+}
+
+// timingMetric reports whether the flattened path is a gated
+// lower-is-better timing metric.
+func timingMetric(key string) bool {
+	return strings.HasSuffix(key, ".ns_per_op") || key == "ns_per_op"
+}
+
+// loadMetrics reads a BENCH_sweep.json file and flattens every
+// numeric leaf into a dotted path ("pairs.parallel.ns_per_op").
+// String leaves (benchtime, census descriptions) are skipped.
+func loadMetrics(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var root map[string]any
+	if err := json.Unmarshal(data, &root); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	out := make(map[string]float64)
+	flatten("", root, out)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no numeric metrics found", path)
+	}
+	return out, nil
+}
+
+func flatten(prefix string, node any, out map[string]float64) {
+	switch v := node.(type) {
+	case map[string]any:
+		for k, child := range v {
+			key := k
+			if prefix != "" {
+				key = prefix + "." + k
+			}
+			flatten(key, child, out)
+		}
+	case float64:
+		out[prefix] = v
+	}
+}
+
+func fmtVal(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -8,7 +8,10 @@
 # exercised under the race detector too, including a short pass over
 # the differential equivalence harness (docs/KERNEL.md) that pins the
 # packed kernel and the analytic gate to the scalar oracle with the
-# fast path forced both on and off.
+# fast path forced both on and off. A final live probe builds ivmsweep,
+# serves -metrics-addr on a loopback port and scrapes /metrics and
+# /healthz over HTTP, pinning the Prometheus exposition format end to
+# end (docs/OBSERVABILITY.md).
 #
 # Golden files: the exporter tests in internal/obs compare against
 # testdata/; after an intentional output change, regenerate with
@@ -36,7 +39,8 @@ go vet "$@"
 # carry a doc comment, and every relative Markdown link must resolve.
 go run ./internal/tools/docscheck \
 	internal/sweep internal/modmath internal/memsys internal/stats \
-	internal/obs internal/obs/profile internal/textplot
+	internal/obs internal/obs/profile internal/textplot \
+	internal/core internal/report
 
 go test -race "$@"
 go test -race ./internal/obs/...
@@ -48,3 +52,59 @@ go test -race ./internal/memsys ./internal/sweep
 # analytic gate and packed kernel forced on against the same sweeps
 # forced off — so this pass exercises the fast path both on and off.
 go test -race -short -run Differential ./internal/memsys ./internal/sweep
+
+# Live metrics probe: a short ivmsweep run serving -metrics-addr is
+# scraped over HTTP. /healthz must answer "ok" and /metrics must carry
+# the pinned Prometheus exposition lines below — the byte-exact format
+# itself is golden-tested in internal/obs (prom_test.go); this step
+# pins the served wire format end to end.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"; [ -n "${srv:-}" ] && kill "$srv" 2>/dev/null || true' EXIT
+go build -o "$tmp/ivmsweep" ./cmd/ivmsweep
+"$tmp/ivmsweep" -m 13 -nc 4 -metrics-addr 127.0.0.1:0 -metrics-linger 30s \
+	> /dev/null 2> "$tmp/stderr" &
+srv=$!
+addr=""
+for _ in $(seq 1 100); do
+	addr="$(sed -n 's#^serving metrics on http://\([^/]*\)/metrics.*#\1#p' "$tmp/stderr")"
+	[ -n "$addr" ] && break
+	sleep 0.1
+done
+if [ -z "$addr" ]; then
+	echo "check.sh: metrics server did not announce an address" >&2
+	exit 1
+fi
+health="$(curl -fsS "http://$addr/healthz")"
+if [ "$health" != "ok" ]; then
+	echo "check.sh: /healthz answered \"$health\", want \"ok\"" >&2
+	exit 1
+fi
+# The sweep may still be running on the first scrape; retry until the
+# provenance counters (recorded as placements resolve) are exposed.
+metrics=""
+for _ in $(seq 1 100); do
+	metrics="$(curl -fsS "http://$addr/metrics")"
+	printf '%s\n' "$metrics" | grep -q '^ivm_provenance_path_total{' && break
+	sleep 0.1
+done
+ctype="$(curl -fsSI "http://$addr/metrics" | tr -d '\r' | sed -n 's/^[Cc]ontent-[Tt]ype: //p')"
+if [ "$ctype" != "text/plain; version=0.0.4; charset=utf-8" ]; then
+	echo "check.sh: /metrics Content-Type \"$ctype\" is not exposition format 0.0.4" >&2
+	exit 1
+fi
+for line in \
+	'# TYPE ivm_up gauge' \
+	'ivm_up 1' \
+	'# TYPE ivm_sweep_cache_hits_total counter' \
+	'# TYPE ivm_sweep_analytic_hits_total counter' \
+	'# TYPE ivm_provenance_path_total counter' \
+	'# TYPE ivm_progress_items_done_total counter'; do
+	if ! printf '%s\n' "$metrics" | grep -qFx "$line"; then
+		echo "check.sh: /metrics missing pinned exposition line: $line" >&2
+		exit 1
+	fi
+done
+kill "$srv" 2>/dev/null || true
+wait "$srv" 2>/dev/null || true
+srv=""
+echo "check.sh: live /metrics and /healthz probes OK (http://$addr)"
