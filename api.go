@@ -312,6 +312,13 @@ func NewSectionPairSpec(m, s, nc, d1, d2 int) SweepConfigSpec {
 	return sweep.SectionPairSpec(m, s, nc, d1, d2)
 }
 
+// NewConsecSectionPairSpec is NewSectionPairSpec under the consecutive
+// bank-to-section mapping (the Fig. 9 remedy): section(j) =
+// floor(j / (m/s)) instead of the cyclic j mod s.
+func NewConsecSectionPairSpec(m, s, nc, d1, d2 int) SweepConfigSpec {
+	return sweep.ConsecSectionPairSpec(m, s, nc, d1, d2)
+}
+
 // NewTripleSpec is the all-placements triple sweep as a spec: stream 1
 // fixed at bank 0, streams 2 and 3 swept, one stream per CPU.
 func NewTripleSpec(m, nc int, d [3]int) SweepConfigSpec { return sweep.TripleSpec(m, nc, d) }
@@ -334,6 +341,36 @@ func SweepNStreamGrid(m, nc, n int) []SweepSpecResult { return sweep.NStreamGrid
 func SummariseSweepSpecGrid(results []SweepSpecResult) SweepTripleGridSummary {
 	return sweep.SummariseSpecGrid(results)
 }
+
+// --- Resolution and cache persistence -----------------------------------
+
+// SweepResolution is the engine's answer to one fixed-placement query:
+// the effective bandwidth plus the provenance of the answer (path,
+// theorem identifier, canonical orbit, simulation cost). See
+// SweepEngine.Resolve and ResolveBatch — the query path behind
+// ivmserved.
+type SweepResolution = sweep.Resolution
+
+// SweepPath identifies the engine route that resolved one placement.
+type SweepPath = sweep.Path
+
+// The provenance paths a resolution can report.
+const (
+	SweepPathAnalytic  = sweep.PathAnalytic
+	SweepPathCache     = sweep.PathCache
+	SweepPathSimScalar = sweep.PathSimScalar
+	SweepPathSimPacked = sweep.PathSimPacked
+)
+
+// SweepCacheRecord is one cyclic-state cache entry in portable form —
+// the unit of cache persistence (SweepEngine.CacheRecords/SeedCache,
+// SweepOptions.CacheSink and the internal cachestore behind
+// ivmsweep -cache-export / ivmserved -cache-dir).
+type SweepCacheRecord = sweep.CacheRecord
+
+// SweepCacheSink receives one SweepCacheRecord per newly simulated
+// canonical orbit (SweepOptions.CacheSink).
+type SweepCacheSink = sweep.CacheSink
 
 // --- Observability ------------------------------------------------------
 

@@ -1,0 +1,120 @@
+// Command ivmserved is the long-running bandwidth service: it answers
+// "what is the effective bandwidth of this configuration" over
+// HTTP/JSON through the same sweep engine as ivmsweep, so served
+// results are byte-identical to the sweep tables. Endpoints
+// (docs/SERVING.md is the full reference):
+//
+//	POST /v1/bandwidth   one fixed-placement spec -> b_eff + provenance
+//	POST /v1/batch       many specs amortised over the worker pool
+//	GET  /v1/sweep?...   a stride pair's start sweep, streamed NDJSON
+//	GET  /healthz        liveness + persistent-store integrity
+//	GET  /metrics        Prometheus exposition: ivmserved_* request,
+//	                     latency and hit-path counters beside the
+//	                     engine's ivm_sweep_* metrics
+//
+// With -cache-dir the canonical-key cache persists across restarts:
+// records load on start (warm start — previously simulated orbits
+// answer with path=cache immediately), new simulations append to the
+// store's checksummed log, and -sync bounds how much a crash can
+// lose. A corrupt or truncated log tail is skipped with a logged
+// count, never a crash. Warm-start sets can also be produced offline
+// with ivmsweep -cache-export.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ivm/internal/cachestore"
+	"ivm/internal/serve"
+	"ivm/internal/sweep"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address (host:port; :0 picks an ephemeral port)")
+	cacheDir := flag.String("cache-dir", "", "persistent cache store directory: load on start, append new simulations, survive restarts")
+	cacheSize := flag.Int("cache", 0, "in-RAM cyclic-state cache entries; 0 sizes automatically (at least the default, grown to hold the store)")
+	workers := flag.Int("workers", 0, "resolver worker goroutines; 0 selects GOMAXPROCS")
+	syncEvery := flag.Duration("sync", 5*time.Second, "fsync interval for the persistent store's log")
+	analytic := flag.Bool("analytic", true, "answer theorem-provable pair placements analytically instead of simulating (results are byte-identical either way)")
+	kernelName := flag.String("kernel", "packed", "simulator kernel: packed (bit-packed bank-busy) or scalar (the reference oracle)")
+	flag.Parse()
+
+	packed, err := sweep.KernelOption(*kernelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt := serve.Options{
+		Workers:   *workers,
+		CacheSize: *cacheSize,
+		Analytic:  analytic, PackedKernel: packed,
+	}
+	var store *cachestore.Store
+	if *cacheDir != "" {
+		store, err = cachestore.Open(*cacheDir)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer store.Close()
+		if skipped, bytes := store.Skipped(); skipped > 0 {
+			fmt.Fprintf(os.Stderr, "ivmserved: %s: skipped %d corrupt tail record(s), %d byte(s) truncated\n",
+				store.Path(), skipped, bytes)
+		}
+		fmt.Fprintf(os.Stderr, "ivmserved: loaded %d cached state(s) from %s\n",
+			len(store.Records()), store.Path())
+		if *syncEvery > 0 {
+			store.AutoSync(*syncEvery)
+		}
+		opt.Store = store
+	}
+
+	srv, err := serve.New(opt)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail("ivmserved: %v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "ivmserved listening on http://%s\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "ivmserved: %v: shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			hs.Close() //nolint:errcheck // already failing
+		}
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fail("ivmserved: %v", err)
+		}
+	}
+	if store != nil {
+		if err := store.Sync(); err != nil {
+			fail("ivmserved: store sync: %v", err)
+		}
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -25,7 +25,10 @@
 // which orbits a low hit rate hides — and -provenance-csv exports it
 // in long form; -progress prints a live status line (items/s, ETA,
 // path split) at the given period. -cpuprofile/-memprofile/-trace
-// write pprof/runtime profiles of the whole run.
+// write pprof/runtime profiles of the whole run. -cache-export dir
+// appends the run's cached cyclic states to a persistent cache store
+// (internal/cachestore) that ivmserved -cache-dir warm-starts from;
+// see docs/SERVING.md.
 package main
 
 import (
@@ -36,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"ivm/internal/cachestore"
 	"ivm/internal/memsys"
 	"ivm/internal/obs"
 	"ivm/internal/obs/profile"
@@ -66,6 +70,7 @@ func main() {
 	provenanceFlag := flag.Bool("provenance", false, "print the result-attribution report: per-family path split, per-theorem analytic hits, orbit sizes and the top unexplained orbits")
 	provenanceCSV := flag.String("provenance-csv", "", "write the result-attribution report as long-form CSV")
 	progressEvery := flag.Duration("progress", 0, "print a live progress line (items/s, ETA, path split) to stderr at this period; 0 disables")
+	cacheExport := flag.String("cache-export", "", "after the sweeps, export the cyclic-state cache to the persistent store in this directory (warm-start set for ivmserved -cache-dir)")
 	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -122,6 +127,12 @@ func main() {
 	}
 
 	runSweeps(eng, *m, *nc, *secs, *streams, *triples, *census, *full)
+
+	if *cacheExport != "" {
+		if err := exportCache(eng, *cacheExport); err != nil {
+			fail("%v", err)
+		}
+	}
 
 	fmt.Println()
 	fmt.Print(eng.Metrics().Table())
@@ -197,6 +208,31 @@ func main() {
 	if err := stop(); err != nil {
 		fail("%v", err)
 	}
+}
+
+// exportCache appends the engine's cached cyclic states to the
+// persistent store at dir (deduplicated against what the store already
+// holds), so a later ivmserved -cache-dir run starts warm. Analytic
+// answers never enter the cache, so the export holds exactly the
+// simulated orbits — complete for serving, which gates the same
+// placements analytically.
+func exportCache(eng *sweep.Engine, dir string) error {
+	store, err := cachestore.Open(dir)
+	if err != nil {
+		return err
+	}
+	records := eng.CacheRecords()
+	before := store.Len()
+	for _, rec := range records {
+		store.Put(rec)
+	}
+	added := store.Len() - before
+	if err := store.Close(); err != nil {
+		return fmt.Errorf("cache export: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "exported %d cached states to %s (%d new)\n",
+		len(records), store.Path(), added)
+	return nil
 }
 
 // progressSink adapts a possibly-nil tracker to the engine's sink

@@ -1,0 +1,291 @@
+package cachestore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ivm/internal/rat"
+	"ivm/internal/sweep"
+)
+
+// rec builds a valid test record whose coordinates derive from seed so
+// distinct seeds get distinct content addresses.
+func rec(seed int) sweep.CacheRecord {
+	return sweep.CacheRecord{
+		Family: "pair",
+		M:      13,
+		NC:     4,
+		CPUs:   []int{0, 1},
+		Vec:    []int{1 + seed%12, 6, seed % 13, 0},
+		BW:     rat.New(int64(1+seed), int64(2+seed)),
+	}
+}
+
+// TestStoreRoundTrip pins the basic lifecycle: Put, Close, Open sees
+// every record byte-identically and in log order.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Records()) != 0 || s.Len() != 0 {
+		t.Fatalf("fresh store not empty: %d records", s.Len())
+	}
+	want := []sweep.CacheRecord{rec(0), rec(1), rec(2), rec(3)}
+	for _, r := range want {
+		s.Put(r)
+	}
+	if s.Len() != len(want) {
+		t.Fatalf("store holds %d records, put %d", s.Len(), len(want))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if skipped, bytes := reopened.Skipped(); skipped != 0 || bytes != 0 {
+		t.Fatalf("clean log reported corruption: %d records, %d bytes", skipped, bytes)
+	}
+	if got := reopened.Records(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestStoreDeduplicates pins content addressing: re-putting a record
+// (or replaying a whole log into itself) never grows the store, while
+// a record differing only in one coordinate does.
+func TestStoreDeduplicates(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(rec(0))
+	s.Put(rec(0))
+	if s.Len() != 1 {
+		t.Fatalf("duplicate put grew the store to %d", s.Len())
+	}
+	other := rec(0)
+	other.Vec = append([]int(nil), other.Vec...)
+	other.Vec[3] = 5
+	s.Put(other)
+	if s.Len() != 2 {
+		t.Fatalf("distinct vector deduplicated: %d records", s.Len())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	size := logSize(t, dir)
+
+	// Replaying the log into a reopened store must not append.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range s2.Records() {
+		s2.Put(r)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := logSize(t, dir); got != size {
+		t.Fatalf("replay grew the log from %d to %d bytes", size, got)
+	}
+}
+
+// TestStoreRejectsInvalid pins the sink contract: an invalid record is
+// not appended and the failure surfaces through Health and Sync, not a
+// panic on the engine's hot path.
+func TestStoreRejectsInvalid(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Put(sweep.CacheRecord{Family: "pair", M: 13, NC: 4, CPUs: []int{0, 1}, Vec: []int{1}})
+	if s.Len() != 0 {
+		t.Fatalf("invalid record indexed: %d records", s.Len())
+	}
+	if h := s.Health(); h.Err == "" {
+		t.Fatal("invalid put left Health clean")
+	}
+	if err := s.Sync(); err == nil {
+		t.Fatal("Sync did not surface the put error")
+	}
+	// The error is one-shot: once reported, the store is healthy again.
+	if err := s.Sync(); err != nil {
+		t.Fatalf("second Sync still failing: %v", err)
+	}
+	if h := s.Health(); h.Err != "" {
+		t.Fatalf("Health still dirty after Sync: %q", h.Err)
+	}
+}
+
+// TestStoreTruncatedTailRecovery pins crash recovery: a partial frame
+// at the tail is counted, truncated away, and the healthy prefix plus
+// all later appends stay readable.
+func TestStoreTruncatedTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := []sweep.CacheRecord{rec(0), rec(1)}
+	for _, r := range keep {
+		s.Put(r)
+	}
+	s.Put(rec(2))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the last frame: drop its final 3 bytes, as a crash mid-write
+	// would.
+	full := logSize(t, dir)
+	if err := os.Truncate(filepath.Join(dir, LogName), full-3); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("truncated tail failed Open: %v", err)
+	}
+	skipped, bytes := s2.Skipped()
+	if skipped != 1 || bytes <= 0 {
+		t.Fatalf("Skipped() = %d, %d; want 1 torn frame", skipped, bytes)
+	}
+	if got := s2.Records(); !reflect.DeepEqual(got, keep) {
+		t.Fatalf("healthy prefix lost:\n got %+v\nwant %+v", got, keep)
+	}
+	if h := s2.Health(); h.SkippedRecords != 1 || h.TruncatedBytes != bytes || h.Err != "" {
+		t.Fatalf("Health after recovery: %+v", h)
+	}
+	// Appends after recovery land on the truncated log and survive a
+	// clean reopen.
+	s2.Put(rec(7))
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if skipped, bytes := s3.Skipped(); skipped != 0 || bytes != 0 {
+		t.Fatalf("log still corrupt after recovery: %d records, %d bytes", skipped, bytes)
+	}
+	if got, want := s3.Records(), append(keep, rec(7)); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-recovery append lost:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestStoreCRCCorruption pins the checksum: flipping one payload byte
+// invalidates that frame and everything after it, keeping the prefix.
+func TestStoreCRCCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(rec(0))
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	mid := logSize(t, dir) // offset where the second frame will start
+	s.Put(rec(1))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, LogName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[mid+8] ^= 0xff // a byte inside the second frame's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("corrupt frame failed Open: %v", err)
+	}
+	defer s2.Close()
+	if skipped, _ := s2.Skipped(); skipped != 1 {
+		t.Fatalf("Skipped() = %d, want the corrupted frame", skipped)
+	}
+	if got, want := s2.Records(), []sweep.CacheRecord{rec(0)}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("prefix before corruption lost:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestStoreBadMagic pins the header check: a file that is not a cache
+// log errors instead of being silently truncated away.
+func TestStoreBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, LogName), []byte("definitely not a log"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("foreign file opened as a cache log")
+	}
+}
+
+// TestStoreEngineSeam pins the full persistence loop with a real
+// engine: sweep with the store as sink, reopen, seed a fresh engine,
+// and the seeded engine answers the same sweep without simulating.
+func TestStoreEngineSeam(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sweep.NewEngine(sweep.Options{Workers: 2, CacheSink: s})
+	want := a.SweepPair(13, 4, 1, 6)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics().CacheMisses == 0 {
+		t.Fatal("sweep never simulated; seam test needs cache traffic")
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got, want := len(s2.Records()), int(a.Metrics().CacheMisses); got != want {
+		t.Fatalf("store reloaded %d records, engine simulated %d orbits", got, want)
+	}
+	b := sweep.NewEngine(sweep.Options{Workers: 2})
+	for _, r := range s2.Records() {
+		if err := b.SeedCache(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := b.SweepPair(13, 4, 1, 6)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("seeded sweep differs:\n got %+v\nwant %+v", got, want)
+	}
+	if m := b.Metrics(); m.CacheMisses != 0 {
+		t.Fatalf("warm engine still simulated %d orbits", m.CacheMisses)
+	}
+}
+
+// logSize returns the store log's current size in bytes.
+func logSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	fi, err := os.Stat(filepath.Join(dir, LogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}

@@ -123,30 +123,38 @@ func (r *Registry) Publish(name string) {
 	expvar.Publish(name, expvar.Func(func() any { return r.Gather() }))
 }
 
-// Serve starts an HTTP server on addr (e.g. "localhost:6060", or
-// ":0" to pick a port) exposing the Prometheus text exposition at
-// /metrics, the gathered JSON view at /metrics.json, a liveness probe
-// at /healthz, expvar at /debug/vars and pprof at /debug/pprof/. It
-// returns the bound address and a closer; the server runs until
-// closed.
-func (r *Registry) Serve(addr string) (boundAddr string, closer io.Closer, err error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", nil, fmt.Errorf("obs: metrics listener: %w", err)
-	}
-	mux := http.NewServeMux()
+// Mount attaches the registry's observability endpoints to mux: the
+// Prometheus text exposition at /metrics, the gathered JSON view at
+// /metrics.json, expvar at /debug/vars and pprof at /debug/pprof/.
+// Liveness (/healthz) is deliberately NOT mounted — callers own it, so
+// a server with real health state (ivmserved's store integrity) can
+// report it while Serve keeps its plain "ok".
+func (r *Registry) Mount(mux *http.ServeMux) {
 	mux.Handle("/metrics", r.PromHandler())
 	mux.Handle("/metrics.json", r)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, "ok\n") //nolint:errcheck // client gone
-	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+}
+
+// Serve starts an HTTP server on addr (e.g. "localhost:6060", or
+// ":0" to pick a port) exposing the Mount endpoints plus a liveness
+// probe at /healthz. It returns the bound address and a closer; the
+// server runs until closed.
+func (r *Registry) Serve(addr string) (boundAddr string, closer io.Closer, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	r.Mount(mux)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n") //nolint:errcheck // client gone
+	})
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
 	return ln.Addr().String(), closerFunc(func() error { return srv.Close() }), nil

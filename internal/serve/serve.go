@@ -1,0 +1,397 @@
+// Package serve is the HTTP/JSON query layer of ivmserved: a
+// long-running bandwidth service answering "what is b_eff of this
+// configuration" through the same sweep engine the CLIs run, so every
+// response is byte-identical to what ivmsweep would print. Three
+// endpoints cover the query shapes (docs/SERVING.md is the full API
+// reference):
+//
+//	POST /v1/bandwidth  one fixed-placement ConfigSpec -> one result
+//	POST /v1/batch      many specs, amortised over the worker pool
+//	GET  /v1/sweep      a start sweep of a stride pair, streamed NDJSON
+//
+// Each result carries its provenance: which path answered (analytic
+// theorem, canonical-orbit cache hit, or simulation), under which
+// theorem identifier, via which canonical vector. The server wires the
+// engine to an optional cachestore.Store — records seed the in-RAM
+// cache at construction (warm start) and new simulations append to the
+// store's log — and exposes ivmserved_* request/latency/hit-path
+// counters beside the engine's ivm_sweep_* metrics on /metrics, with
+// store integrity on /healthz.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"ivm/internal/cachestore"
+	"ivm/internal/obs"
+	"ivm/internal/sweep"
+)
+
+// MaxBatch bounds the specs one /v1/batch request may carry; larger
+// batches should be split client-side (the cap keeps one request from
+// monopolising the pool and bounds decode memory).
+const MaxBatch = 1 << 16
+
+// Options configures a Server.
+type Options struct {
+	// Workers and CacheSize configure the underlying sweep engine
+	// (sweep.Options). CacheSize 0 selects a capacity of at least
+	// sweep.DefaultCacheSize, grown to hold the store's records twice
+	// over so a warm start is not evicted by its own seed.
+	Workers   int
+	CacheSize int
+	// Store, when non-nil, is the persistent cache: its records are
+	// seeded into the engine at construction and every new simulation
+	// is appended back through the engine's CacheSink. The caller
+	// keeps ownership (Sync/Close).
+	Store *cachestore.Store
+	// Analytic and PackedKernel forward to sweep.Options; nil selects
+	// the defaults (gate on, packed kernel).
+	Analytic     *bool
+	PackedKernel *bool
+}
+
+// numPaths is the provenance path count ([sweep.PathAnalytic,
+// sweep.PathSimPacked] is the engine's full range).
+const numPaths = int(sweep.PathSimPacked) + 1
+
+// endpointStats is one endpoint's request counters.
+type endpointStats struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	nanos    atomic.Int64
+}
+
+// endpointNames indexes the instrumented endpoints.
+var endpointNames = []string{"bandwidth", "batch", "sweep", "healthz"}
+
+// Server answers bandwidth queries over HTTP. Build with New, mount
+// with Handler; the Server holds no listener of its own.
+type Server struct {
+	eng    *sweep.Engine
+	prov   *sweep.Provenance
+	store  *cachestore.Store
+	reg    *obs.Registry
+	seeded int
+
+	endpoints [4]endpointStats
+	paths     [numPaths]atomic.Int64
+}
+
+// New builds a server: a provenance-recording engine sized for the
+// store's record set, warm-seeded from it, with new simulations
+// appended back to the store. A store record that fails seeding
+// (shape corruption the CRC could not catch) fails construction — the
+// store should be deleted and rebuilt rather than served from.
+func New(opt Options) (*Server, error) {
+	var records []sweep.CacheRecord
+	if opt.Store != nil {
+		records = opt.Store.Records()
+	}
+	size := opt.CacheSize
+	if size == 0 {
+		size = sweep.DefaultCacheSize
+		if need := 2 * len(records); need > size {
+			size = need
+		}
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("serve: caching disabled (CacheSize %d): the server IS the cache", opt.CacheSize)
+	}
+	s := &Server{
+		prov:  sweep.NewProvenance(0),
+		store: opt.Store,
+		reg:   obs.NewRegistry(),
+	}
+	eopt := sweep.Options{
+		Workers:      opt.Workers,
+		CacheSize:    size,
+		Provenance:   s.prov,
+		Analytic:     opt.Analytic,
+		PackedKernel: opt.PackedKernel,
+	}
+	if opt.Store != nil {
+		eopt.CacheSink = opt.Store
+	}
+	s.eng = sweep.NewEngine(eopt)
+	for _, rec := range records {
+		if err := s.eng.SeedCache(rec); err != nil {
+			return nil, fmt.Errorf("serve: warm start: %v", err)
+		}
+		s.seeded++
+	}
+	s.reg.RegisterProm("sweep", obs.SweepPromMetrics(s.eng))
+	s.reg.RegisterProm("served", s.promMetrics)
+	s.reg.Register("engine", func() any { return s.eng.Snapshot() })
+	return s, nil
+}
+
+// Engine exposes the underlying sweep engine (examples and tests
+// compare served answers against in-process sweeps).
+func (s *Server) Engine() *sweep.Engine { return s.eng }
+
+// Seeded reports how many store records warm-started the cache.
+func (s *Server) Seeded() int { return s.seeded }
+
+// Handler returns the server's full mux: the /v1 API, /healthz with
+// store integrity, and the registry's /metrics, /metrics.json and
+// /debug endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/v1/bandwidth", s.instrument(0, http.HandlerFunc(s.handleBandwidth)))
+	mux.Handle("/v1/batch", s.instrument(1, http.HandlerFunc(s.handleBatch)))
+	mux.Handle("/v1/sweep", s.instrument(2, http.HandlerFunc(s.handleSweep)))
+	mux.Handle("/healthz", s.instrument(3, http.HandlerFunc(s.handleHealthz)))
+	s.reg.Mount(mux)
+	return mux
+}
+
+// statusWriter captures the response status for the error counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader records the status.
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps an endpoint with the request/error/latency
+// counters behind ivmserved_*.
+func (s *Server) instrument(endpoint int, h http.Handler) http.Handler {
+	st := &s.endpoints[endpoint]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		st.requests.Add(1)
+		st.nanos.Add(time.Since(t0).Nanoseconds())
+		if sw.status >= 400 {
+			st.errors.Add(1)
+		}
+	})
+}
+
+// countPath folds one resolution into the hit-path counters.
+func (s *Server) countPath(p sweep.Path) {
+	if i := int(p); i >= 0 && i < numPaths {
+		s.paths[i].Add(1)
+	}
+}
+
+// promMetrics renders the ivmserved_* counters.
+func (s *Server) promMetrics() []obs.PromMetric {
+	req := obs.PromMetric{Name: "ivmserved_requests_total",
+		Help: "API requests served, by endpoint.", Type: "counter"}
+	errs := obs.PromMetric{Name: "ivmserved_errors_total",
+		Help: "API requests answered with a 4xx/5xx status, by endpoint.", Type: "counter"}
+	secs := obs.PromMetric{Name: "ivmserved_request_seconds_total",
+		Help: "Wall time spent handling API requests, by endpoint.", Type: "counter"}
+	for i, name := range endpointNames {
+		st := &s.endpoints[i]
+		req = req.Sample("endpoint", name, st.requests.Load())
+		errs = errs.Sample("endpoint", name, st.errors.Load())
+		secs = secs.Sample("endpoint", name, float64(st.nanos.Load())/1e9)
+	}
+	paths := obs.PromMetric{Name: "ivmserved_responses_total",
+		Help: "Query results returned, by answer path.", Type: "counter"}
+	for i := 0; i < numPaths; i++ {
+		paths = paths.Sample("path", sweep.Path(i).String(), s.paths[i].Load())
+	}
+	out := []obs.PromMetric{req, errs, secs, paths,
+		obs.Gauge("ivmserved_cache_seeded_records",
+			"Store records seeded into the in-RAM cache at start.", float64(s.seeded))}
+	if s.store != nil {
+		h := s.store.Health()
+		up := 1.0
+		if h.Err != "" {
+			up = 0
+		}
+		out = append(out,
+			obs.Gauge("ivmserved_store_records", "Deduplicated records in the persistent cache store.", float64(h.Records)),
+			obs.Gauge("ivmserved_store_skipped_records", "Corrupt tail records dropped when the store was opened.", float64(h.SkippedRecords)),
+			obs.Gauge("ivmserved_store_up", "Whether the persistent store is healthy (no pending append/sync error).", up))
+	}
+	return out
+}
+
+// --- Handlers -----------------------------------------------------------
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)}) //nolint:errcheck // client gone
+}
+
+// handleBandwidth answers POST /v1/bandwidth: one SpecJSON in, one
+// ResultJSON out.
+func (s *Server) handleBandwidth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a spec to /v1/bandwidth")
+		return
+	}
+	var sj SpecJSON
+	if err := json.NewDecoder(r.Body).Decode(&sj); err != nil {
+		httpError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	res, err := s.eng.Resolve(sj.Spec())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.countPath(res.Path)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resultJSON(res)) //nolint:errcheck // client gone
+}
+
+// handleBatch answers POST /v1/batch: up to MaxBatch specs resolved
+// through the worker pool in one call, with the path split attached.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST specs to /v1/batch")
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad batch: %v", err)
+		return
+	}
+	if len(req.Specs) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Specs) > MaxBatch {
+		httpError(w, http.StatusBadRequest, "batch of %d specs exceeds the cap of %d", len(req.Specs), MaxBatch)
+		return
+	}
+	specs := make([]sweep.ConfigSpec, len(req.Specs))
+	for i, sj := range req.Specs {
+		specs[i] = sj.Spec()
+	}
+	results, err := s.eng.ResolveBatch(specs)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := BatchResponse{Results: make([]ResultJSON, len(results)), Paths: make(map[string]int)}
+	for i, res := range results {
+		s.countPath(res.Path)
+		resp.Results[i] = resultJSON(res)
+		resp.Paths[res.Path.String()]++
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp) //nolint:errcheck // client gone
+}
+
+// handleSweep answers GET /v1/sweep: a start sweep of one stride pair
+// — stream 2's start over all m banks — streamed as NDJSON, one
+// SweepRowJSON per line in b2 order. Query parameters: m, nc, d1, d2
+// (required), s (sections; 0 or absent for sectionless), consecutive
+// (with s: consecutive bank-to-section mapping), b1 (stream 1 start,
+// default 0).
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET /v1/sweep?m=..&nc=..&d1=..&d2=..")
+		return
+	}
+	q := r.URL.Query()
+	intArg := func(name string, def int, required bool) (int, error) {
+		v := q.Get(name)
+		if v == "" {
+			if required {
+				return 0, fmt.Errorf("missing parameter %q", name)
+			}
+			return def, nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, fmt.Errorf("parameter %q: %v", name, err)
+		}
+		return n, nil
+	}
+	var parseErr error
+	arg := func(name string, def int, required bool) int {
+		n, err := intArg(name, def, required)
+		if err != nil && parseErr == nil {
+			parseErr = err
+		}
+		return n
+	}
+	m := arg("m", 0, true)
+	nc := arg("nc", 0, true)
+	d1 := arg("d1", 0, true)
+	d2 := arg("d2", 0, true)
+	sections := arg("s", 0, false)
+	b1 := arg("b1", 0, false)
+	if parseErr != nil {
+		httpError(w, http.StatusBadRequest, "%v", parseErr)
+		return
+	}
+	consec := false
+	switch v := q.Get("consecutive"); v {
+	case "", "0", "false":
+	case "1", "true":
+		consec = true
+	default:
+		httpError(w, http.StatusBadRequest, "parameter \"consecutive\": want 0/1/true/false, got %q", v)
+		return
+	}
+	specs := make([]sweep.ConfigSpec, 0, max(m, 0))
+	for b2 := 0; b2 < m; b2++ {
+		streams := []sweep.Stream{
+			{D: d1, B: b1, CPU: 0},
+			{D: d2, B: b2, CPU: 1},
+		}
+		if sections > 0 {
+			streams[1].CPU = 0
+		}
+		specs = append(specs, sweep.ConfigSpec{
+			M: m, S: sections, NC: nc, Streams: streams, Consecutive: consec,
+		})
+	}
+	if len(specs) == 0 {
+		httpError(w, http.StatusBadRequest, "sweep: %d banks", m)
+		return
+	}
+	results, err := s.eng.ResolveBatch(specs)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for b2, res := range results {
+		s.countPath(res.Path)
+		if err := enc.Encode(SweepRowJSON{B2: b2, ResultJSON: resultJSON(res)}); err != nil {
+			return // client gone; rows already written stand
+		}
+	}
+}
+
+// handleHealthz reports liveness plus store integrity: 200 with
+// status "ok" when healthy, 500 with status "degraded" and the
+// store's error when an append or sync has failed.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	resp := HealthJSON{Status: "ok"}
+	status := http.StatusOK
+	if s.store != nil {
+		h := s.store.Health()
+		resp.Store = &h
+		if h.Err != "" {
+			resp.Status = "degraded"
+			status = http.StatusInternalServerError
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(resp) //nolint:errcheck // client gone
+}

@@ -1,0 +1,107 @@
+package serve
+
+// The wire types of the /v1 API. Field order is fixed by these struct
+// definitions, so responses are byte-stable — scripts/check.sh pins
+// the bandwidth endpoint's exact bytes for a known pair, and the
+// restart acceptance test compares responses across server restarts
+// byte for byte. docs/SERVING.md documents every field.
+
+import (
+	"ivm/internal/cachestore"
+	"ivm/internal/sweep"
+)
+
+// StreamJSON is one access stream of a request spec: stride d issued
+// from CPU cpu, starting at bank b. All of d and b must already be
+// reduced into [0, m).
+type StreamJSON struct {
+	D   int `json:"d"`
+	B   int `json:"b"`
+	CPU int `json:"cpu"`
+}
+
+// SpecJSON is the request form of sweep.ConfigSpec: m banks, s
+// sections (0 or absent for sectionless), bank busy time nc, the
+// consecutive bank-to-section mapping flag, and one stream per port
+// in priority order.
+type SpecJSON struct {
+	M           int          `json:"m"`
+	S           int          `json:"s,omitempty"`
+	NC          int          `json:"nc"`
+	Consecutive bool         `json:"consecutive,omitempty"`
+	Streams     []StreamJSON `json:"streams"`
+}
+
+// Spec converts the wire form to the engine's ConfigSpec (validation
+// happens in the engine, which the handlers surface as 400s).
+func (sj SpecJSON) Spec() sweep.ConfigSpec {
+	streams := make([]sweep.Stream, len(sj.Streams))
+	for i, st := range sj.Streams {
+		streams[i] = sweep.Stream{D: st.D, B: st.B, CPU: st.CPU}
+	}
+	return sweep.ConfigSpec{
+		M: sj.M, S: sj.S, NC: sj.NC,
+		Consecutive: sj.Consecutive,
+		Streams:     streams,
+	}
+}
+
+// ResultJSON is one resolved placement: the effective bandwidth as an
+// exact fraction (b_eff is its rendered form, num/den the parts), the
+// configuration family, and the provenance of the answer — path is
+// "analytic", "cache", "sim-scalar" or "sim-packed"; theorem is the
+// paper theorem/equation identifier on analytic answers; canonical is
+// the orbit representative that keyed the cache on cache/simulation
+// answers; cycle_length and clocks are the simulation cost on misses.
+type ResultJSON struct {
+	Family      string `json:"family"`
+	BEff        string `json:"b_eff"`
+	Num         int64  `json:"num"`
+	Den         int64  `json:"den"`
+	Path        string `json:"path"`
+	Theorem     string `json:"theorem,omitempty"`
+	Canonical   []int  `json:"canonical,omitempty"`
+	CycleLength int64  `json:"cycle_length,omitempty"`
+	Clocks      int64  `json:"clocks,omitempty"`
+}
+
+// resultJSON converts an engine resolution to the wire form.
+func resultJSON(res sweep.Resolution) ResultJSON {
+	return ResultJSON{
+		Family:      res.Family,
+		BEff:        res.BW.String(),
+		Num:         res.BW.Num,
+		Den:         res.BW.Den,
+		Path:        res.Path.String(),
+		Theorem:     res.Theorem,
+		Canonical:   res.Canonical,
+		CycleLength: res.CycleLength,
+		Clocks:      res.Clocks,
+	}
+}
+
+// BatchRequest is the /v1/batch request body.
+type BatchRequest struct {
+	Specs []SpecJSON `json:"specs"`
+}
+
+// BatchResponse is the /v1/batch response: results in input order and
+// the batch's answer-path split (path name -> count).
+type BatchResponse struct {
+	Results []ResultJSON   `json:"results"`
+	Paths   map[string]int `json:"paths"`
+}
+
+// SweepRowJSON is one NDJSON row of /v1/sweep: the swept stream 2
+// start and its result.
+type SweepRowJSON struct {
+	B2 int `json:"b2"`
+	ResultJSON
+}
+
+// HealthJSON is the /healthz response: "ok" or "degraded", with the
+// persistent store's integrity summary when one is attached.
+type HealthJSON struct {
+	Status string             `json:"status"`
+	Store  *cachestore.Health `json:"store,omitempty"`
+}

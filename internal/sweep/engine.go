@@ -60,6 +60,14 @@ type Options struct {
 	// (one Add per sweep call, one Done per completed item) so a live
 	// reporter can show items/s and an ETA; nil is off and free.
 	Progress ProgressSink
+	// CacheSink, when non-nil, receives one CacheRecord per simulated
+	// canonical orbit, immediately after the result enters the in-RAM
+	// cache, so a persistent store (internal/cachestore) can append it
+	// to its log. Cache hits, analytic answers and seeded records are
+	// not re-emitted, and nothing is emitted when caching is disabled
+	// (CacheSize < 0). Implementations must be safe for concurrent use;
+	// nil (the default) is off and free.
+	CacheSink CacheSink
 	// Analytic enables the theorem-driven classifier gate in the sweep
 	// hot path: sectionless two-stream placements whose regime has a
 	// start-independent closed form (Theorem 3 conflict-free, Theorems
@@ -741,7 +749,16 @@ func (w *worker) sweepTriple(m, nc int, d [3]int) TripleSweepResult {
 // minimisation over the full unit group — or over the section-fixing
 // subgroup when Options.SectionFullUnits disables the stronger
 // reduction on a sectioned memory.
-func (w *worker) pipelineFor(m, s int) modmath.Pipeline {
+//
+// Consecutive mapping gets its own, narrower group: translations by
+// multiples of the section width g = m/s (which shift whole section
+// blocks onto each other, cyclically permuting the sections) and NO
+// unit scaling — a unit u ≠ 1 maps the consecutive block {0..g-1}
+// onto a stride-u set that straddles section boundaries, so even the
+// u ≡ 1 (mod s) subgroup is unsound here (docs/CACHING.md derives the
+// counterexample; the consecutive differential test pins soundness of
+// what ships).
+func (w *worker) pipelineFor(m, s int, consec bool) modmath.Pipeline {
 	step := 1
 	if s > 1 {
 		step = s
@@ -749,6 +766,10 @@ func (w *worker) pipelineFor(m, s int) modmath.Pipeline {
 	fix := 1
 	if s > 1 && !w.e.opt.sectionFullUnits() {
 		fix = s
+	}
+	if consec {
+		step = m / s
+		fix = m // UnitsFixing(m, m) = {1}: no scaling
 	}
 	if w.pipe == nil || w.pipeM != m || w.pipeStep != step || w.pipeFix != fix {
 		w.pipe = modmath.NewAffinePipeline(m, step, modmath.UnitsFixing(m, fix))
@@ -765,6 +786,7 @@ type compiledSpec struct {
 	spec    ConfigSpec
 	family  string
 	cpus    string
+	cpuList []int
 	counter *familyCounter
 	canon   modmath.Pipeline
 	cfg     memsys.Config
@@ -796,13 +818,14 @@ func (w *worker) compile(spec ConfigSpec) *compiledSpec {
 		cpus[i] = st.CPU
 	}
 	cs := &compiledSpec{
-		spec:   spec,
-		family: spec.Family(),
-		cpus:   packInts(cpus),
-		canon:  w.pipelineFor(spec.M, spec.S),
-		cfg:    specConfig(spec),
-		vec:    make([]int, 2*n),
-		b:      make([]int, n),
+		spec:    spec,
+		family:  spec.Family(),
+		cpus:    packInts(cpus),
+		cpuList: cpus,
+		canon:   w.pipelineFor(spec.M, spec.S, spec.Consecutive),
+		cfg:     specConfig(spec),
+		vec:     make([]int, 2*n),
+		b:       make([]int, n),
 	}
 	cs.counter = w.e.familyCounter(cs.family)
 	for i, st := range spec.Streams {
@@ -866,6 +889,36 @@ func (cs *compiledSpec) tripleBW(w *worker) func(b2, b3 int) rat.Rational {
 // the requested placement — so the cached value is exactly what any
 // placement of the orbit would produce.
 func (w *worker) bw(cs *compiledSpec, b []int) rat.Rational {
+	v, _ := w.resolve(cs, b, false)
+	return v
+}
+
+// resolution is the per-placement attribution resolve reports beside
+// the bandwidth: the path taken, the gate's theorem identifier on
+// analytic answers, the canonical configuration vector (copied only
+// when the caller asked for it), and the simulation cost on misses.
+type resolution struct {
+	path     Path
+	theorem  string
+	canon    []int
+	cycleLen int64
+	clocks   int64
+}
+
+// canonCopy copies the canonical vector when the caller wants it
+// returned; the scratch vector itself is reused per work item.
+func canonCopy(vec []int, want bool) []int {
+	if !want {
+		return nil
+	}
+	return append([]int(nil), vec...)
+}
+
+// resolve is the engine's single answer route: analytic gate, then
+// canonical-key cache, then simulation of the canonical representative,
+// reporting which path resolved the placement. bw is its thin wrapper;
+// Engine.Resolve surfaces the attribution to API callers.
+func (w *worker) resolve(cs *compiledSpec, b []int, wantCanon bool) (rat.Rational, resolution) {
 	e := w.e
 	tl := e.opt.Timeline
 	prov := e.opt.Provenance
@@ -874,10 +927,14 @@ func (w *worker) bw(cs *compiledSpec, b []int) rat.Rational {
 			cs.counter.analytic.Add(1)
 			tl.Instant(w.id, TimelineAnalytic, -1, cs.family)
 			prov.Analytic(cs.family, cs.gateTheorem)
-			return v
+			return v, resolution{path: PathAnalytic, theorem: cs.gateTheorem}
 		}
 	}
 	packed := e.opt.kernel() == memsys.KernelPacked
+	simPath := PathSimScalar
+	if packed {
+		simPath = PathSimPacked
+	}
 	if e.cache == nil {
 		n := len(cs.spec.Streams)
 		for i, st := range cs.spec.Streams {
@@ -886,7 +943,7 @@ func (w *worker) bw(cs *compiledSpec, b []int) rat.Rational {
 		copy(cs.vec[n:], b)
 		bw, c := w.simulate(cs, cs.vec)
 		prov.Simulated(cs.family, cs.spec.M, cs.spec.S, cs.spec.NC, cs.vec, packed, c.Length, c.Lead+c.Length)
-		return bw
+		return bw, resolution{path: simPath, cycleLen: c.Length, clocks: c.Lead + c.Length}
 	}
 	ts := tl.Start()
 	key := cs.key(b)
@@ -895,7 +952,7 @@ func (w *worker) bw(cs *compiledSpec, b []int) rat.Rational {
 		e.hit(cs.counter, key)
 		tl.Instant(w.id, TimelineCacheHit, -1, cs.family)
 		prov.CacheHit(cs.family, cs.spec.M, cs.spec.S, cs.spec.NC, cs.vec)
-		return bw
+		return bw, resolution{path: PathCache, canon: canonCopy(cs.vec, wantCanon)}
 	}
 	e.miss(cs.counter)
 	tl.Instant(w.id, TimelineCacheMiss, -1, cs.family)
@@ -904,7 +961,16 @@ func (w *worker) bw(cs *compiledSpec, b []int) rat.Rational {
 	tl.Slice(w.id, TimelineSimulate, ts, -1, cs.family)
 	prov.Simulated(cs.family, cs.spec.M, cs.spec.S, cs.spec.NC, cs.vec, packed, c.Length, c.Lead+c.Length)
 	e.cache.put(key, bw)
-	return bw
+	if sink := e.opt.CacheSink; sink != nil {
+		sink.Put(CacheRecord{
+			Family: cs.family,
+			M:      cs.spec.M, S: cs.spec.S, NC: cs.spec.NC,
+			CPUs: append([]int(nil), cs.cpuList...),
+			Vec:  append([]int(nil), cs.vec...),
+			BW:   bw,
+		})
+	}
+	return bw, resolution{path: simPath, canon: canonCopy(cs.vec, wantCanon), cycleLen: c.Length, clocks: c.Lead + c.Length}
 }
 
 func (e *Engine) hit(c *familyCounter, key cacheKey) {

@@ -40,6 +40,13 @@ type Stream struct {
 type ConfigSpec struct {
 	M, S, NC int
 	Streams  []Stream
+	// Consecutive selects the consecutive bank-to-section mapping
+	// (memsys.ConsecutiveSections, the Fig. 9 remedy): section(j) =
+	// floor(j / (m/s)) instead of the cyclic j mod s. Only meaningful
+	// with S > 0; it narrows the cache's canonicalisation group (see
+	// worker.pipelineFor and docs/CACHING.md) and keys its own
+	// configuration families.
+	Consecutive bool
 }
 
 // Validate checks the spec against the memory system's invariants.
@@ -55,6 +62,9 @@ func (c ConfigSpec) Validate() error {
 	}
 	if c.S > 0 && c.M%c.S != 0 {
 		return fmt.Errorf("spec: sections %d must divide banks %d", c.S, c.M)
+	}
+	if c.Consecutive && c.S == 0 {
+		return fmt.Errorf("spec: consecutive mapping needs sections")
 	}
 	if len(c.Streams) == 0 {
 		return fmt.Errorf("spec: no streams")
@@ -73,7 +83,10 @@ func (c ConfigSpec) Validate() error {
 // names: "pair" (two sectionless streams on CPUs 0 and 1), "triple"
 // (three sectionless streams on CPUs 0, 1, 2) and "section" (two
 // streams of one CPU against a sectioned memory). Other shapes derive
-// "streamN" / "sectionN" names from the stream count.
+// "streamN" / "sectionN" names from the stream count. Consecutive
+// mapping appends "-consec": the two mappings produce different
+// conflict structures, so their cyclic states must never collide in
+// the cache.
 func (c ConfigSpec) Family() string {
 	n := len(c.Streams)
 	if c.S == 0 {
@@ -85,10 +98,14 @@ func (c ConfigSpec) Family() string {
 		}
 		return "stream" + strconv.Itoa(n)
 	}
+	name := "section" + strconv.Itoa(n)
 	if n == 2 && c.Streams[0].CPU == 0 && c.Streams[1].CPU == 0 {
-		return "section"
+		name = "section"
 	}
-	return "section" + strconv.Itoa(n)
+	if c.Consecutive {
+		name += "-consec"
+	}
+	return name
 }
 
 // PairSpec is the sectionless two-stream family: stream 1 fixed at
@@ -108,6 +125,17 @@ func SectionPairSpec(m, s, nc, d1, d2 int) ConfigSpec {
 		{D: d1, CPU: 0},
 		{D: d2, CPU: 0, Sweep: true},
 	}}
+}
+
+// ConsecSectionPairSpec is SectionPairSpec under the consecutive
+// bank-to-section mapping (the Fig. 9 remedy): section(j) =
+// floor(j / (m/s)). Its placements canonicalise under the
+// section-block translation orbit (see docs/CACHING.md) and cache in
+// the "section-consec" family.
+func ConsecSectionPairSpec(m, s, nc, d1, d2 int) ConfigSpec {
+	spec := SectionPairSpec(m, s, nc, d1, d2)
+	spec.Consecutive = true
+	return spec
 }
 
 // TripleSpec is the sectionless three-stream family with stream 1
@@ -155,7 +183,11 @@ func specConfig(spec ConfigSpec) memsys.Config {
 			cpus = st.CPU + 1
 		}
 	}
-	return memsys.Config{Banks: spec.M, Sections: spec.S, BankBusy: spec.NC, CPUs: cpus}
+	mapping := memsys.CyclicSections
+	if spec.Consecutive {
+		mapping = memsys.ConsecutiveSections
+	}
+	return memsys.Config{Banks: spec.M, Sections: spec.S, BankBusy: spec.NC, CPUs: cpus, Mapping: mapping}
 }
 
 // streamLabel names stream i in tables and traces ("1", "2", …).

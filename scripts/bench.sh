@@ -16,7 +16,9 @@
 # provenance block records the result-attribution split (percent of
 # placements answered analytically, from the cache, or by simulation)
 # plus the share of stream4 orbits simulated once and never reused
-# (docs/OBSERVABILITY.md).
+# (docs/OBSERVABILITY.md). The served block tracks the ivmserved HTTP
+# API (docs/SERVING.md): single-query req/s and batch specs/s, cold
+# versus warm cache.
 #
 # Usage: scripts/bench.sh [count]
 #   count  -benchtime iteration override, e.g. "10x" (default: 1s timed)
@@ -38,7 +40,7 @@ out="BENCH_sweep.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkSweep(Sequential|Parallel|TriplesSequential|TriplesParallel|SectionsSequential|SectionsParallel|TripleCensusTranslated|NStreamParallel|AnalyticFastPath|KernelPacked|Provenance)$|BenchmarkPhaseHistogram$' \
+go test -run '^$' -bench 'BenchmarkSweep(Sequential|Parallel|TriplesSequential|TriplesParallel|SectionsSequential|SectionsParallel|TripleCensusTranslated|NStreamParallel|AnalyticFastPath|KernelPacked|Provenance)$|BenchmarkPhaseHistogram$|BenchmarkServed(Single|Batch)$' \
 	-benchmem -benchtime "$benchtime" . | tee "$raw"
 
 # Benchmark lines look like:
@@ -95,13 +97,20 @@ function metric(name,   i) {
 	pr_analytic = metric("analytic_path_%"); pr_cache = metric("cache_path_%")
 	pr_sim = metric("sim_path_%"); pr_singleton = metric("stream4_singleton_orbit_%")
 }
+/^BenchmarkServedSingle/ {
+	sv_ns = metric("ns/op"); sv_rps = metric("req_per_s")
+}
+/^BenchmarkServedBatch/ {
+	sb_cold = metric("cold_specs_per_s"); sb_warm = metric("warm_specs_per_s")
+	sb_hit = metric("warm_cache_hit_%")
+}
 /^BenchmarkPhaseHistogram/ {
 	ph_grants = metric("grants"); ph_bank = metric("bank_conflicts")
 	ph_sim = metric("simultaneous_conflicts"); ph_sec = metric("section_conflicts")
 	ph_cycle = metric("cycle_clocks")
 }
 END {
-	if (seq_ns == "" || par_ns == "" || t_par_ns == "" || s_par_ns == "" || c_base == "" || ns_hit == "" || ph_grants == "" || a_ns == "" || k_ns == "" || pr_ns == "") {
+	if (seq_ns == "" || par_ns == "" || t_par_ns == "" || s_par_ns == "" || c_base == "" || ns_hit == "" || ph_grants == "" || a_ns == "" || k_ns == "" || pr_ns == "" || sv_ns == "" || sb_cold == "") {
 		print "bench.sh: missing benchmark output" > "/dev/stderr"; exit 1
 	}
 	printf "{\n"
@@ -156,6 +165,15 @@ END {
 	printf "      \"sim\": %s\n", pr_sim
 	printf "    },\n"
 	printf "    \"stream4_singleton_orbit_percent\": %s\n", pr_singleton
+	printf "  },\n"
+	printf "  \"served\": {\n"
+	printf "    \"census\": \"HTTP API over httptest, triple census m=13 nc=4\",\n"
+	printf "    \"single\": {\"ns_per_op\": %s, \"req_per_s\": %s},\n", sv_ns, sv_rps
+	printf "    \"batch\": {\n"
+	printf "      \"cold_specs_per_s\": %s,\n", sb_cold
+	printf "      \"warm_specs_per_s\": %s,\n", sb_warm
+	printf "      \"warm_cache_hit_rate_percent\": %s\n", sb_hit
+	printf "    }\n"
 	printf "  },\n"
 	printf "  \"conflict_composition\": {\n"
 	printf "    \"config\": \"fig3 barrier m=13 nc=6 d1=1 d2=6\",\n"

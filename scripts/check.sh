@@ -8,10 +8,11 @@
 # exercised under the race detector too, including a short pass over
 # the differential equivalence harness (docs/KERNEL.md) that pins the
 # packed kernel and the analytic gate to the scalar oracle with the
-# fast path forced both on and off. A final live probe builds ivmsweep,
-# serves -metrics-addr on a loopback port and scrapes /metrics and
-# /healthz over HTTP, pinning the Prometheus exposition format end to
-# end (docs/OBSERVABILITY.md).
+# fast path forced both on and off. Two live probes close the run:
+# ivmsweep serving -metrics-addr on a loopback port is scraped over
+# HTTP, pinning the Prometheus exposition format end to end
+# (docs/OBSERVABILITY.md), and ivmserved answers a known analytic pair
+# with byte-pinned JSON plus a healthy /healthz (docs/SERVING.md).
 #
 # Golden files: the exporter tests in internal/obs compare against
 # testdata/; after an intentional output change, regenerate with
@@ -40,7 +41,7 @@ go vet "$@"
 go run ./internal/tools/docscheck \
 	internal/sweep internal/modmath internal/memsys internal/stats \
 	internal/obs internal/obs/profile internal/textplot \
-	internal/core internal/report
+	internal/core internal/report internal/serve internal/cachestore
 
 go test -race "$@"
 go test -race ./internal/obs/...
@@ -108,3 +109,49 @@ kill "$srv" 2>/dev/null || true
 wait "$srv" 2>/dev/null || true
 srv=""
 echo "check.sh: live /metrics and /healthz probes OK (http://$addr)"
+
+# Live serving probe: an ivmserved instance on a loopback port must
+# answer the known unique-barrier pair (m=16 nc=4 strides 1,2; eq-29
+# proves b_eff = 3/2) with the exact bytes below — the wire format is
+# part of the API (docs/SERVING.md; internal/serve pins the same bytes
+# in TestServeBandwidthPinned) — and /healthz must report a healthy
+# store.
+go build -o "$tmp/ivmserved" ./cmd/ivmserved
+"$tmp/ivmserved" -addr 127.0.0.1:0 -cache-dir "$tmp/cache" \
+	2> "$tmp/served-stderr" &
+srv=$!
+addr=""
+for _ in $(seq 1 100); do
+	addr="$(sed -n 's#^ivmserved listening on http://\(.*\)$#\1#p' "$tmp/served-stderr")"
+	[ -n "$addr" ] && break
+	sleep 0.1
+done
+if [ -z "$addr" ]; then
+	echo "check.sh: ivmserved did not announce an address" >&2
+	exit 1
+fi
+body='{"m":16,"nc":4,"streams":[{"d":1,"b":0,"cpu":0},{"d":2,"b":0,"cpu":1}]}'
+want='{"family":"pair","b_eff":"3/2","num":3,"den":2,"path":"analytic","theorem":"eq-29"}'
+got="$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$body" "http://$addr/v1/bandwidth")"
+if [ "$got" != "$want" ]; then
+	echo "check.sh: /v1/bandwidth drifted:" >&2
+	echo "  got:  $got" >&2
+	echo "  want: $want" >&2
+	exit 1
+fi
+health="$(curl -fsS "http://$addr/healthz")"
+case "$health" in
+'{"status":"ok","store":'*) ;;
+*)
+	echo "check.sh: ivmserved /healthz answered \"$health\", want status ok with store integrity" >&2
+	exit 1
+	;;
+esac
+if ! curl -fsS "http://$addr/metrics" | grep -q '^ivmserved_requests_total{endpoint="bandwidth"} 1$'; then
+	echo "check.sh: ivmserved /metrics missing the bandwidth request counter" >&2
+	exit 1
+fi
+kill "$srv" 2>/dev/null || true
+wait "$srv" 2>/dev/null || true
+srv=""
+echo "check.sh: live ivmserved probe OK (http://$addr)"
