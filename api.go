@@ -65,6 +65,13 @@ type PairGate = core.PairGate
 // NewPairGate compiles the analytic fast path for one distance pair.
 func NewPairGate(m, nc, d1, d2 int) PairGate { return core.NewPairGate(m, nc, d1, d2) }
 
+// NewPairGateUnder is NewPairGate gated on the arbitration policy: the
+// pair theorems assume fixed priority, so any other rule yields an
+// inactive gate and every placement falls through to simulation.
+func NewPairGateUnder(m, nc, d1, d2 int, priority PriorityRule) PairGate {
+	return core.NewPairGateUnder(m, nc, d1, d2, priority)
+}
+
 // ReturnNumber is Theorem 1: r = m / gcd(m, d).
 func ReturnNumber(m, d int) int { return core.ReturnNumber(m, d) }
 
@@ -113,13 +120,28 @@ type StreamSpec = memsys.StreamSpec
 // Port is one access port with its conflict counters.
 type Port = memsys.Port
 
+// SectionMapping selects how banks are assigned to sections.
+type SectionMapping = memsys.SectionMapping
+
+// PriorityRule selects how simultaneous requests are arbitrated.
+type PriorityRule = memsys.PriorityRule
+
 // Section mappings and priority rules.
 const (
 	CyclicSections      = memsys.CyclicSections
 	ConsecutiveSections = memsys.ConsecutiveSections
 	FixedPriority       = memsys.FixedPriority
 	CyclicPriority      = memsys.CyclicPriority
+	RoundRobinPerCPU    = memsys.RoundRobinPerCPU
 )
+
+// ParsePriority parses a priority-rule name ("fixed", "cyclic",
+// "rr-cpu") as printed by PriorityRule.String.
+func ParsePriority(name string) (PriorityRule, error) { return memsys.ParsePriority(name) }
+
+// ParseMapping parses a section-mapping name ("cyclic", "consecutive")
+// as printed by SectionMapping.String.
+func ParseMapping(name string) (SectionMapping, error) { return memsys.ParseMapping(name) }
 
 // MemKernel selects the simulator's inner-loop implementation; see
 // docs/KERNEL.md.

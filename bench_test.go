@@ -354,6 +354,28 @@ func BenchmarkSweepNStreamParallel(b *testing.B) {
 	b.ReportMetric(hitRate*100, "stream4_cache_hit_%")
 }
 
+// The policy sweep: the pair grid under cyclic arbitration priority,
+// whose traffic lands in the "pair-cyc" cache family (the analytic
+// gate declines non-fixed priority, so every placement is cached
+// simulation). bench.sh distils the hit rate and throughput into the
+// policies block of BENCH_sweep.json, so the perf trajectory tracks
+// the policy dimensions alongside the historical fixed-priority
+// families.
+func BenchmarkSweepPolicies(b *testing.B) {
+	specs := sweep.GridSpecs(8, 0, 2)
+	for i := range specs {
+		specs[i] = specs[i].WithPolicy(memsys.CyclicPriority, memsys.CyclicSections)
+	}
+	var hitRate float64
+	for i := 0; i < b.N; i++ {
+		eng := sweep.NewEngine(sweep.Options{Workers: 4})
+		eng.SpecGrid(specs)
+		hitRate = eng.Metrics().FamilyHitRate("pair-cyc")
+	}
+	b.ReportMetric(hitRate*100, "policy_cache_hit_%")
+	b.ReportMetric(float64(len(specs)*b.N)/b.Elapsed().Seconds(), "policy_specs_per_s")
+}
+
 // Result provenance of the EXPERIMENTS.md cross-validation grid plus
 // the four-stream family, with the attribution recorder attached: the
 // per-path split (analytic theorem / cache orbit / simulation) over

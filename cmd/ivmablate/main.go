@@ -20,6 +20,7 @@ import (
 	"reflect"
 
 	"ivm/internal/machine"
+	"ivm/internal/memsys"
 	"ivm/internal/obs"
 	"ivm/internal/obs/profile"
 	"ivm/internal/randaccess"
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	study := flag.String("study", "all", "which study: pairs|triples|sections|section-units|multitask|skew|kernels|random|all")
+	study := flag.String("study", "all", "which study: pairs|triples|sections|section-units|policies|multitask|skew|kernels|random|all")
 	n := flag.Int("n", 512, "vector length per stream")
 	maxInc := flag.Int("maxinc", 16, "largest increment to sweep")
 	workers := flag.Int("workers", 0, "sweep worker goroutines for the engine studies; 0 selects GOMAXPROCS")
@@ -97,6 +98,12 @@ func main() {
 	}
 	if *study == "section-units" || *study == "all" {
 		if !sectionUnitsStudy(*workers, *cache) {
+			os.Exit(1)
+		}
+		ran = true
+	}
+	if *study == "policies" || *study == "all" {
+		if !policiesStudy(*workers, *cache) {
 			os.Exit(1)
 		}
 		ran = true
@@ -230,6 +237,113 @@ func sectionUnitsStudy(workers, cache int) bool {
 		fmt.Println("zero mismatches: the full unit group is sound on every section grid.")
 	} else {
 		fmt.Println("MISMATCHES FOUND: the full-unit section canonicalisation is unsound here.")
+	}
+	fmt.Println()
+	return ok
+}
+
+// policiesStudy is the policy-dimension reproduction and soundness
+// campaign. Part A re-derives the paper's Fig. 8a vs 8b and Fig. 9
+// story as fixed-placement resolutions: the same two unit-stride
+// streams on one CPU of an m=12, s=3, n_c=3 memory lose a third of
+// their bandwidth to the fixed-priority section conflict (b_eff = 3/2,
+// Fig. 8a), recover the full b_eff = 2 when cyclic priority shares the
+// loss (Fig. 8b), and recover it again when the consecutive section
+// mapping removes the conflict outright (Fig. 9). Part B is the
+// differential campaign over every (priority, mapping) combination:
+// the cold sequential sweep, the cached parallel engine, and a warm
+// re-run on the same engine must agree result-for-result, with the
+// cache hit rate and packed-kernel fallbacks of each combination
+// reported next to its mismatch count.
+func policiesStudy(workers, cache int) bool {
+	fmt.Println("== policy dimensions: Fig. 8a/8b/9 reproduction and the per-policy differential campaign")
+	ok := true
+
+	figs := []struct {
+		figure   string
+		priority memsys.PriorityRule
+		mapping  memsys.SectionMapping
+		want     string
+	}{
+		{"8a", memsys.FixedPriority, memsys.CyclicSections, "3/2"},
+		{"8b", memsys.CyclicPriority, memsys.CyclicSections, "2"},
+		{"9", memsys.FixedPriority, memsys.ConsecutiveSections, "2"},
+	}
+	feng := sweep.NewEngine(sweep.Options{Workers: workers, CacheSize: cache})
+	tblA := &textplot.Table{Header: []string{"figure", "priority", "mapping", "b_eff", "path", "want", "ok"}}
+	for _, f := range figs {
+		spec := sweep.ConfigSpec{
+			M: 12, S: 3, NC: 3,
+			Streams: []sweep.Stream{{D: 1, B: 0, CPU: 0}, {D: 1, B: 1, CPU: 0}},
+		}.WithPolicy(f.priority, f.mapping)
+		res, err := feng.Resolve(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return false
+		}
+		good := res.BW.String() == f.want
+		if !good {
+			ok = false
+		}
+		tblA.Add(f.figure, f.priority.String(), f.mapping.String(), res.BW.String(), res.Path.String(), f.want, good)
+	}
+	fmt.Print(tblA.String())
+	fmt.Println()
+
+	combos := []struct {
+		priority memsys.PriorityRule
+		mapping  memsys.SectionMapping
+	}{
+		{memsys.FixedPriority, memsys.CyclicSections},
+		{memsys.CyclicPriority, memsys.CyclicSections},
+		{memsys.RoundRobinPerCPU, memsys.CyclicSections},
+		{memsys.FixedPriority, memsys.ConsecutiveSections},
+		{memsys.CyclicPriority, memsys.ConsecutiveSections},
+		{memsys.RoundRobinPerCPU, memsys.ConsecutiveSections},
+	}
+	tblB := &textplot.Table{Header: []string{"priority", "mapping", "specs", "placements", "mismatch", "hit rate", "packed fallbacks"}}
+	for _, c := range combos {
+		// Sectionless pair grid only under the cyclic mapping (the
+		// consecutive mapping needs sections); the sectioned grid under
+		// both mappings.
+		var specs []sweep.ConfigSpec
+		if c.mapping == memsys.CyclicSections {
+			specs = append(specs, sweep.GridSpecs(8, 0, 2)...)
+		}
+		specs = append(specs, sweep.GridSpecs(12, 3, 3)...)
+		for i := range specs {
+			specs[i] = specs[i].WithPolicy(c.priority, c.mapping)
+		}
+		cold := make([]sweep.SpecResult, len(specs))
+		for i, sp := range specs {
+			cold[i] = sweep.SweepSpec(sp)
+		}
+		eng := sweep.NewEngine(sweep.Options{Workers: workers, CacheSize: cache})
+		engRes := eng.SpecGrid(specs)
+		warmRes := eng.SpecGrid(specs)
+		mismatch, placements := 0, 0
+		for i := range cold {
+			placements += cold[i].Starts
+			if !reflect.DeepEqual(cold[i], engRes[i]) || !reflect.DeepEqual(cold[i], warmRes[i]) {
+				mismatch++
+			}
+		}
+		if mismatch > 0 {
+			ok = false
+		}
+		m := eng.Metrics()
+		rate := 0.0
+		if lookups := m.CacheHits + m.CacheMisses; lookups > 0 {
+			rate = float64(m.CacheHits) / float64(lookups)
+		}
+		tblB.Add(c.priority.String(), c.mapping.String(), len(specs), placements, mismatch,
+			fmt.Sprintf("%.1f%%", rate*100), m.PackedFallbacks)
+	}
+	fmt.Print(tblB.String())
+	if ok {
+		fmt.Println("zero mismatches: every (priority, mapping) family is sound cold, cached and warm.")
+	} else {
+		fmt.Println("MISMATCHES FOUND: a policy family disagrees between the cold, cached and warm paths.")
 	}
 	fmt.Println()
 	return ok

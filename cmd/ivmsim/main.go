@@ -42,7 +42,7 @@ func main() {
 	cpus := flag.Int("cpus", 2, "number of CPUs (path groups)")
 	streamsFlag := flag.String("streams", "0:1,0:6", "comma-separated streams start:distance[:cpu]")
 	clocks := flag.Int64("clocks", 40, "timeline width in clock periods")
-	priority := flag.String("priority", "fixed", "priority rule: fixed|cyclic")
+	priority := flag.String("priority", "fixed", "priority rule: fixed|cyclic|rr-cpu")
 	mapping := flag.String("mapping", "cyclic", "bank-to-section mapping: cyclic|consecutive")
 	analyze := flag.Bool("analyze", true, "print the analytic verdict for two-stream runs")
 	statsFlag := flag.Bool("stats", false, "print per-bank utilisation and delay-run statistics")
@@ -71,21 +71,11 @@ func main() {
 	}
 
 	cfg := memsys.Config{Banks: *m, Sections: *s, BankBusy: *nc, CPUs: *cpus}
-	switch *priority {
-	case "fixed":
-		cfg.Priority = memsys.FixedPriority
-	case "cyclic":
-		cfg.Priority = memsys.CyclicPriority
-	default:
-		fail("unknown priority %q", *priority)
+	if cfg.Priority, err = memsys.ParsePriority(*priority); err != nil {
+		fail("%v", err)
 	}
-	switch *mapping {
-	case "cyclic":
-		cfg.Mapping = memsys.CyclicSections
-	case "consecutive":
-		cfg.Mapping = memsys.ConsecutiveSections
-	default:
-		fail("unknown mapping %q", *mapping)
+	if cfg.Mapping, err = memsys.ParseMapping(*mapping); err != nil {
+		fail("%v", err)
 	}
 	if err := cfg.Validate(); err != nil {
 		fail("%v", err)

@@ -58,6 +58,9 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep worker goroutines; 0 selects GOMAXPROCS")
 	cache := flag.Int("cache", sweep.DefaultCacheSize, "cyclic-state cache entries, shared by pair, triple and section sweeps; negative disables caching")
 	analytic := flag.Bool("analytic", true, "answer theorem-provable pair placements analytically instead of simulating (results are byte-identical either way)")
+	priorityName := flag.String("priority", "fixed", "arbitration priority rule: fixed, cyclic or rr-cpu; non-default rules run the pair/section families through the generic spec grid")
+	mappingName := flag.String("mapping", "cyclic", "bank-to-section mapping: cyclic or consecutive (consecutive requires -s)")
+	strict := flag.Bool("strict", false, "treat flag-combination warnings as errors")
 	kernelName := flag.String("kernel", "packed", "simulator kernel: packed (bit-packed bank-busy) or scalar (the reference oracle)")
 	showStats := flag.Bool("stats", false, "collect and print per-bank statistics of the simulated states")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of the sweep worker timeline plus the traced pair's cycle search (open in chrome://tracing or Perfetto)")
@@ -74,10 +77,29 @@ func main() {
 	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := validateSweepFlags(sweepFlags{streams: *streams, secs: *secs, triples: *triples, census: *census}); err != nil {
+	priority, err := memsys.ParsePriority(*priorityName)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		flag.Usage()
 		os.Exit(2)
+	}
+	mapping, err := memsys.ParseMapping(*mappingName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	warning, err := validateSweepFlags(sweepFlags{
+		streams: *streams, secs: *secs, triples: *triples, census: *census,
+		priority: priority, mapping: mapping, analytic: *analytic, strict: *strict,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if warning != "" {
+		fmt.Fprintln(os.Stderr, "warning: "+warning)
 	}
 
 	packed, err := sweep.KernelOption(*kernelName)
@@ -126,7 +148,7 @@ func main() {
 		defer stopProgress()
 	}
 
-	runSweeps(eng, *m, *nc, *secs, *streams, *triples, *census, *full)
+	runSweeps(eng, *m, *nc, *secs, *streams, *triples, *census, *full, priority, mapping)
 
 	if *cacheExport != "" {
 		if err := exportCache(eng, *cacheExport); err != nil {
@@ -245,36 +267,77 @@ func progressSink(p *obs.Progress) sweep.ProgressSink {
 }
 
 // sweepFlags collects the mutually exclusive sweep-family selectors
-// for validation before any work starts.
+// and the policy dimensions for validation before any work starts.
 type sweepFlags struct {
-	streams int
-	secs    int
-	triples bool
-	census  bool
+	streams  int
+	secs     int
+	triples  bool
+	census   bool
+	priority memsys.PriorityRule
+	mapping  memsys.SectionMapping
+	analytic bool
+	strict   bool
+}
+
+// defaultPolicy reports whether the flags select the historical
+// fixed-priority, cyclic-mapping sweep.
+func (f sweepFlags) defaultPolicy() bool {
+	return f.priority == memsys.FixedPriority && f.mapping == memsys.CyclicSections
 }
 
 // validateSweepFlags rejects conflicting flag combinations with a
-// usage error instead of silently ignoring one of the flags.
-func validateSweepFlags(f sweepFlags) error {
+// usage error instead of silently ignoring one of the flags. A
+// combination that is legal but surprising — the analytic gate under a
+// priority rule its theorems do not cover — comes back as a warning,
+// promoted to an error under -strict.
+func validateSweepFlags(f sweepFlags) (warning string, err error) {
 	if f.streams < 0 || f.streams == 1 {
-		return fmt.Errorf("-streams wants 0 (pair sweep) or at least 2 streams, got %d", f.streams)
+		return "", fmt.Errorf("-streams wants 0 (pair sweep) or at least 2 streams, got %d", f.streams)
 	}
 	if f.census && !f.triples {
-		return fmt.Errorf("-triple-census only applies together with -triples")
+		return "", fmt.Errorf("-triple-census only applies together with -triples")
 	}
 	if f.triples && f.secs != 0 {
-		return fmt.Errorf("-triples sweeps are sectionless; -s selects the section-theorem pair sweep: pick one")
+		return "", fmt.Errorf("-triples sweeps are sectionless; -s selects the section-theorem pair sweep: pick one")
 	}
 	if f.streams >= 2 && f.triples {
-		return fmt.Errorf("-streams and -triples select different sweeps: pick one")
+		return "", fmt.Errorf("-streams and -triples select different sweeps: pick one")
 	}
 	if f.streams >= 2 && f.secs != 0 {
-		return fmt.Errorf("the -streams grid is sectionless; -s selects the section-theorem pair sweep: pick one")
+		return "", fmt.Errorf("the -streams grid is sectionless; -s selects the section-theorem pair sweep: pick one")
 	}
-	return nil
+	if f.mapping == memsys.ConsecutiveSections && f.secs == 0 {
+		return "", fmt.Errorf("-mapping consecutive partitions banks into sections; it needs -s")
+	}
+	if !f.defaultPolicy() && (f.triples || f.streams >= 2) {
+		return "", fmt.Errorf("-priority/-mapping sweeps cover the pair and section families; drop -triples/-streams")
+	}
+	if f.analytic && f.priority != memsys.FixedPriority {
+		msg := fmt.Sprintf("analytic gate does not cover %s priority, ignoring -analytic", f.priority)
+		if f.strict {
+			return "", fmt.Errorf("%s: rerun with -analytic=false (strict)", msg)
+		}
+		return msg, nil
+	}
+	return "", nil
 }
 
-func runSweeps(eng *sweep.Engine, m, nc, secs, streams int, triples, census, full bool) {
+func runSweeps(eng *sweep.Engine, m, nc, secs, streams int, triples, census, full bool, priority memsys.PriorityRule, mapping memsys.SectionMapping) {
+	if priority != memsys.FixedPriority || mapping != memsys.CyclicSections {
+		specs := sweep.GridSpecs(m, secs, nc)
+		for i := range specs {
+			specs[i] = specs[i].WithPolicy(priority, mapping)
+		}
+		results := eng.SpecGrid(specs)
+		if full {
+			fmt.Print(sweep.SpecTable(results))
+			fmt.Println()
+		}
+		sum := sweep.SummariseSpecGrid(results)
+		fmt.Printf("m=%d s=%d n_c=%d priority=%s mapping=%s: %d distance pairs over %d placements; bound attained somewhere by %d pairs (%d placements), violated by %d\n",
+			m, secs, nc, priority, mapping, sum.Triples, sum.Starts, sum.TightSomewhere, sum.TightStarts, sum.Violations)
+		return
+	}
 	if streams >= 2 {
 		results := eng.NStreamGrid(m, nc, streams)
 		if full {

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"testing"
+
+	"ivm/internal/memsys"
+)
+
+// TestPairGateUnderPriority pins the honesty contract of the analytic
+// fast path: the theorems behind PairGate assume fixed priority, so
+// NewPairGateUnder must return an inactive gate — "no answer", never a
+// wrong one — for every other arbitration rule, even on placements the
+// fixed-priority gate covers in closed form.
+func TestPairGateUnderPriority(t *testing.T) {
+	// (16, 2, 1, 2) is the unique-barrier pair from the differential
+	// corpus: gated under fixed priority with b_eff = 3/2 from Eq. 29.
+	fixed := NewPairGateUnder(16, 2, 1, 2, memsys.FixedPriority)
+	if !fixed.Active() {
+		t.Fatal("fixed-priority gate inactive on the Eq. 29 pair")
+	}
+	if bw, ok := fixed.BandwidthAt(0, 1); !ok || bw.String() != "3/2" {
+		t.Fatalf("fixed-priority gate answered %v, %v; want 3/2", bw, ok)
+	}
+	for _, pr := range []memsys.PriorityRule{memsys.CyclicPriority, memsys.RoundRobinPerCPU} {
+		g := NewPairGateUnder(16, 2, 1, 2, pr)
+		if g.Active() {
+			t.Fatalf("gate active under %v; theorems cover fixed priority only", pr)
+		}
+		if _, ok := g.BandwidthAt(0, 1); ok {
+			t.Fatalf("inactive gate answered a placement under %v", pr)
+		}
+	}
+}

@@ -46,6 +46,22 @@ func (k Kernel) String() string {
 // Kernel returns the kernel the system is running on.
 func (s *System) Kernel() Kernel { return s.kernel }
 
+// PackedSupportsPriority reports whether the packed kernel implements a
+// priority rule natively. All three rules share the generic rotation
+// machinery (advanceRotation; the rr pointer is part of both kernels'
+// cycle-state keys), so the answer is true for every known rule; the
+// function exists so callers that must fall back to the scalar oracle
+// for an unsupported rule — and count the fallback — have a single
+// authoritative predicate to ask, rather than assuming.
+func PackedSupportsPriority(pr PriorityRule) bool {
+	switch pr {
+	case FixedPriority, CyclicPriority, RoundRobinPerCPU:
+		return true
+	default:
+		return false
+	}
+}
+
 // SetKernel switches the simulator's inner-loop implementation. The
 // switch is only legal while every bank is idle (e.g. right after New
 // or Reset); switching mid-simulation would need a state conversion
@@ -194,9 +210,7 @@ func (s *System) stepPacked() int {
 		}
 	}
 
-	if s.cfg.Priority == CyclicPriority && len(s.ports) > 0 {
-		s.rr = (s.rr + 1) % len(s.ports)
-	}
+	s.advanceRotation(1)
 	s.clock++
 	return granted
 }
@@ -264,9 +278,7 @@ func (s *System) blockedStretch(end int64) int64 {
 		}
 		p.Count.Bank += delta
 	}
-	if s.cfg.Priority == CyclicPriority && len(s.ports) > 0 {
-		s.rr = int((int64(s.rr) + delta) % int64(len(s.ports)))
-	}
+	s.advanceRotation(delta)
 	s.clock = next
 	return delta
 }

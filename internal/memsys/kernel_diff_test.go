@@ -133,7 +133,7 @@ func corpusSpecs(m, d1, d2, b2, cpus int) []sourceSpec {
 // sections, two CPUs and a finite third stream in the mix.
 func TestDifferentialKernelStepByStep(t *testing.T) {
 	for _, tc := range kernelDiffCorpus {
-		for _, prio := range []PriorityRule{FixedPriority, CyclicPriority} {
+		for _, prio := range []PriorityRule{FixedPriority, CyclicPriority, RoundRobinPerCPU} {
 			name := fmt.Sprintf("%s/%v", tc.name, prio)
 			t.Run(name, func(t *testing.T) {
 				cfg := Config{Banks: tc.m, BankBusy: tc.nc, Sections: tc.sections, CPUs: tc.cpus, Priority: prio}
@@ -177,24 +177,27 @@ func TestDifferentialKernelRun(t *testing.T) {
 // therefore identical b_eff from both cycle detectors.
 func TestDifferentialKernelFindCycle(t *testing.T) {
 	for _, tc := range kernelDiffCorpus {
-		t.Run(tc.name, func(t *testing.T) {
-			cfg := Config{Banks: tc.m, BankBusy: tc.nc, Sections: tc.sections, CPUs: tc.cpus}
-			scalar, packed := buildKernelPair(cfg, corpusSpecs(tc.m, tc.d1, tc.d2, tc.b2, tc.cpus))
-			cs, errS := scalar.FindCycle(1 << 22)
-			cp, errP := packed.FindCycle(1 << 22)
-			if (errS == nil) != (errP == nil) {
-				t.Fatalf("error mismatch: scalar %v packed %v", errS, errP)
-			}
-			if errS != nil {
-				return
-			}
-			if !reflect.DeepEqual(cs, cp) {
-				t.Fatalf("cycle windows diverge:\nscalar %+v\npacked %+v", cs, cp)
-			}
-			if bs, bp := cs.EffectiveBandwidth(), cp.EffectiveBandwidth(); bs != bp {
-				t.Fatalf("b_eff diverges: scalar %v packed %v", bs, bp)
-			}
-		})
+		for _, prio := range []PriorityRule{FixedPriority, CyclicPriority, RoundRobinPerCPU} {
+			tc, prio := tc, prio
+			t.Run(fmt.Sprintf("%s/%v", tc.name, prio), func(t *testing.T) {
+				cfg := Config{Banks: tc.m, BankBusy: tc.nc, Sections: tc.sections, CPUs: tc.cpus, Priority: prio}
+				scalar, packed := buildKernelPair(cfg, corpusSpecs(tc.m, tc.d1, tc.d2, tc.b2, tc.cpus))
+				cs, errS := scalar.FindCycle(1 << 22)
+				cp, errP := packed.FindCycle(1 << 22)
+				if (errS == nil) != (errP == nil) {
+					t.Fatalf("error mismatch: scalar %v packed %v", errS, errP)
+				}
+				if errS != nil {
+					return
+				}
+				if !reflect.DeepEqual(cs, cp) {
+					t.Fatalf("cycle windows diverge:\nscalar %+v\npacked %+v", cs, cp)
+				}
+				if bs, bp := cs.EffectiveBandwidth(), cp.EffectiveBandwidth(); bs != bp {
+					t.Fatalf("b_eff diverges: scalar %v packed %v", bs, bp)
+				}
+			})
+		}
 	}
 }
 
@@ -210,9 +213,7 @@ func TestDifferentialKernelRandom(t *testing.T) {
 			s--
 		}
 		cfg := Config{Banks: m, Sections: s, BankBusy: nc, CPUs: rng.Intn(2) + 1}
-		if rng.Intn(2) == 1 {
-			cfg.Priority = CyclicPriority
-		}
+		cfg.Priority = PriorityRule(rng.Intn(3))
 		if rng.Intn(2) == 1 {
 			cfg.Mapping = ConsecutiveSections
 		}
@@ -246,12 +247,13 @@ func TestDifferentialKernelRandom(t *testing.T) {
 // over a mixed finite/infinite schedule, then identical FindCycle
 // output on a fresh infinite-only pair.
 func FuzzKernelEquivalence(f *testing.F) {
-	f.Add(uint8(16), uint8(4), uint8(4), uint8(1), uint8(6), uint8(3), false, false)
-	f.Add(uint8(12), uint8(3), uint8(3), uint8(1), uint8(1), uint8(1), true, false)
-	f.Add(uint8(13), uint8(6), uint8(1), uint8(1), uint8(6), uint8(0), false, true)
-	f.Add(uint8(8), uint8(2), uint8(2), uint8(0), uint8(0), uint8(0), true, true)
+	f.Add(uint8(16), uint8(4), uint8(4), uint8(1), uint8(6), uint8(3), uint8(0), false)
+	f.Add(uint8(12), uint8(3), uint8(3), uint8(1), uint8(1), uint8(1), uint8(1), false)
+	f.Add(uint8(13), uint8(6), uint8(1), uint8(1), uint8(6), uint8(0), uint8(0), true)
+	f.Add(uint8(8), uint8(2), uint8(2), uint8(0), uint8(0), uint8(0), uint8(1), true)
+	f.Add(uint8(12), uint8(3), uint8(3), uint8(1), uint8(7), uint8(1), uint8(2), false)
 
-	f.Fuzz(func(t *testing.T, mRaw, ncRaw, sRaw, d1Raw, d2Raw, b2Raw uint8, cyclic, consecutive bool) {
+	f.Fuzz(func(t *testing.T, mRaw, ncRaw, sRaw, d1Raw, d2Raw, b2Raw, prioRaw uint8, consecutive bool) {
 		m := int(mRaw%24) + 1
 		nc := int(ncRaw%6) + 1
 		s := int(sRaw%uint8(m)) + 1
@@ -259,9 +261,7 @@ func FuzzKernelEquivalence(f *testing.F) {
 			s--
 		}
 		cfg := Config{Banks: m, Sections: s, BankBusy: nc, CPUs: 2}
-		if cyclic {
-			cfg.Priority = CyclicPriority
-		}
+		cfg.Priority = PriorityRule(prioRaw % 3)
 		if consecutive {
 			cfg.Mapping = ConsecutiveSections
 		}

@@ -62,6 +62,11 @@ const (
 	// every clock period, the rule that resolves linked conflicts
 	// (Fig. 8b).
 	CyclicPriority
+	// RoundRobinPerCPU rotates the highest-priority CPU group by one
+	// position every clock period; within a group, ports arbitrate in ID
+	// order. With one port per CPU it coincides with CyclicPriority, and
+	// with one CPU it coincides with FixedPriority.
+	RoundRobinPerCPU
 )
 
 // String names the rule for tables and flag output.
@@ -71,8 +76,39 @@ func (pr PriorityRule) String() string {
 		return "fixed"
 	case CyclicPriority:
 		return "cyclic"
+	case RoundRobinPerCPU:
+		return "rr-cpu"
 	default:
 		return fmt.Sprintf("PriorityRule(%d)", int(pr))
+	}
+}
+
+// ParsePriority parses a priority-rule name as produced by
+// PriorityRule.String — the shared vocabulary of every flag and wire
+// surface ("fixed", "cyclic", "rr-cpu").
+func ParsePriority(name string) (PriorityRule, error) {
+	switch name {
+	case "fixed":
+		return FixedPriority, nil
+	case "cyclic":
+		return CyclicPriority, nil
+	case "rr-cpu":
+		return RoundRobinPerCPU, nil
+	default:
+		return 0, fmt.Errorf("memsys: unknown priority rule %q (want fixed, cyclic or rr-cpu)", name)
+	}
+}
+
+// ParseMapping parses a section-mapping name as produced by
+// SectionMapping.String ("cyclic", "consecutive").
+func ParseMapping(name string) (SectionMapping, error) {
+	switch name {
+	case "cyclic":
+		return CyclicSections, nil
+	case "consecutive":
+		return ConsecutiveSections, nil
+	default:
+		return 0, fmt.Errorf("memsys: unknown section mapping %q (want cyclic or consecutive)", name)
 	}
 }
 
@@ -218,6 +254,16 @@ func (c Config) Validate() error {
 	if c.CPUs < 0 {
 		return fmt.Errorf("memsys: negative CPU count %d", c.CPUs)
 	}
+	switch c.Mapping {
+	case CyclicSections, ConsecutiveSections:
+	default:
+		return fmt.Errorf("memsys: unknown section mapping %d", int(c.Mapping))
+	}
+	switch c.Priority {
+	case FixedPriority, CyclicPriority, RoundRobinPerCPU:
+	default:
+		return fmt.Errorf("memsys: unknown priority rule %d", int(c.Priority))
+	}
 	return nil
 }
 
@@ -261,7 +307,8 @@ type System struct {
 	pathWinner [][]*Port
 
 	clock    int64
-	rr       int // rotating priority pointer (CyclicPriority)
+	rr       int     // rotating priority pointer (CyclicPriority, RoundRobinPerCPU)
+	order    []*Port // arbitration-order scratch, reused across clocks
 	listener Listener
 
 	// Packed-kernel state (see kernel.go), allocated by SetKernel and
@@ -481,38 +528,104 @@ func (s *System) Step() int {
 			s.busy[b]--
 		}
 	}
-	if s.cfg.Priority == CyclicPriority && len(s.ports) > 0 {
-		s.rr = (s.rr + 1) % len(s.ports)
-	}
+	s.advanceRotation(1)
 	s.clock++
 	return granted
 }
 
-// PriorityHolderAt returns the port that holds the highest priority in
-// the given clock period: the first port under FixedPriority, the
-// rotation holder under CyclicPriority (the rotation advances one
-// position per clock from zero). Nil when no ports are attached.
+// rotationModulus returns the period of the priority rotation: 1 under
+// FixedPriority (the rotation is degenerate), the port count under
+// CyclicPriority and the CPU count under RoundRobinPerCPU.
+func (s *System) rotationModulus() int {
+	switch s.cfg.Priority {
+	case CyclicPriority:
+		return len(s.ports)
+	case RoundRobinPerCPU:
+		return s.cfg.cpus()
+	default:
+		return 1
+	}
+}
+
+// advanceRotation moves the rotating priority pointer forward by delta
+// clock periods (delta may exceed the modulus; blocked-stretch skipping
+// applies whole stretches at once). A degenerate modulus pins rr at 0.
+func (s *System) advanceRotation(delta int64) {
+	m := int64(s.rotationModulus())
+	if m <= 1 {
+		s.rr = 0
+		return
+	}
+	s.rr = int((((int64(s.rr) + delta) % m) + m) % m)
+}
+
+// PriorityHolderAt returns the port (or, under RoundRobinPerCPU, the
+// lowest-ID port of the CPU group) that holds the highest priority in
+// the given clock period. The answer is derived from the live rotation
+// pointer rr, offset by t relative to the current clock — NOT from t
+// alone — so it stays correct after Reset, which rewinds the rotation
+// to zero while the clock keeps advancing. Nil when no ports are
+// attached.
 func (s *System) PriorityHolderAt(t int64) *Port {
 	if len(s.ports) == 0 {
 		return nil
 	}
-	if s.cfg.Priority == CyclicPriority {
-		return s.ports[int(t%int64(len(s.ports)))]
+	m := int64(s.rotationModulus())
+	if m <= 1 {
+		return s.ports[0]
 	}
-	return s.ports[0]
+	h := int((((int64(s.rr) + t - s.clock) % m) + m) % m)
+	if s.cfg.Priority == RoundRobinPerCPU {
+		// The holder is a CPU group; report its first port. A group with
+		// no ports defers to the next group in rotation order, mirroring
+		// arbitrationOrder.
+		for g := 0; g < int(m); g++ {
+			cpu := (h + g) % int(m)
+			for _, p := range s.ports {
+				if p.CPU == cpu {
+					return p
+				}
+			}
+		}
+	}
+	return s.ports[h]
 }
 
 // arbitrationOrder returns the ports in this clock's priority order.
+// The returned slice is scratch owned by the System, valid until the
+// next call.
 func (s *System) arbitrationOrder() []*Port {
-	if s.cfg.Priority == FixedPriority || s.rr == 0 {
+	switch s.cfg.Priority {
+	case CyclicPriority:
+		if s.rr == 0 {
+			return s.ports
+		}
+		n := len(s.ports)
+		order := s.order[:0]
+		for i := 0; i < n; i++ {
+			order = append(order, s.ports[(s.rr+i)%n])
+		}
+		s.order = order
+		return order
+	case RoundRobinPerCPU:
+		nc := s.cfg.cpus()
+		if nc <= 1 {
+			return s.ports
+		}
+		order := s.order[:0]
+		for g := 0; g < nc; g++ {
+			cpu := (s.rr + g) % nc
+			for _, p := range s.ports {
+				if p.CPU == cpu {
+					order = append(order, p)
+				}
+			}
+		}
+		s.order = order
+		return order
+	default:
 		return s.ports
 	}
-	n := len(s.ports)
-	order := make([]*Port, 0, n)
-	for i := 0; i < n; i++ {
-		order = append(order, s.ports[(s.rr+i)%n])
-	}
-	return order
 }
 
 // Run advances the simulation by n clock periods and returns the total

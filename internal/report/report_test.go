@@ -1,6 +1,9 @@
 package report
 
 import (
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -20,6 +23,7 @@ func TestWriteFastReport(t *testing.T) {
 		"grants by bank",
 		"## Analytic model vs simulator",
 		"disagreements",
+		"## Policy dimensions on the Fig. 8/9 placement",
 		"## Fig. 10:",
 		"unique-barrier (triad wins)",
 		"## Multitasking",
@@ -62,6 +66,39 @@ func TestPhaseHistogramSectionShowsConflicts(t *testing.T) {
 	}
 	if !strings.Contains(out, "Barrier-situation") {
 		t.Error("Fig. 3 case missing")
+	}
+}
+
+var updateGolden = flag.Bool("update", false, "rewrite the report golden files")
+
+// TestPolicyComparisonGolden pins the policy-comparison section byte
+// for byte: the Fig. 8a/8b/9 bandwidths under every priority rule and
+// section mapping on the reference placement. Regenerate (only after
+// an intentional output change) with
+//
+//	go test ./internal/report -run TestPolicyComparisonGolden -update
+func TestPolicyComparisonGolden(t *testing.T) {
+	var b strings.Builder
+	if err := PolicyComparison(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	path := filepath.Join("testdata", "policy_comparison.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update): %v", path, err)
+	}
+	if got != string(want) {
+		t.Fatalf("policy comparison drifted from the golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"ivm/internal/cachestore"
+	"ivm/internal/memsys"
 	"ivm/internal/obs"
 	"ivm/internal/sweep"
 )
@@ -243,7 +244,12 @@ func (s *Server) handleBandwidth(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad spec: %v", err)
 		return
 	}
-	res, err := s.eng.Resolve(sj.Spec())
+	spec, err := sj.Spec()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := s.eng.Resolve(spec)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -275,7 +281,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	specs := make([]sweep.ConfigSpec, len(req.Specs))
 	for i, sj := range req.Specs {
-		specs[i] = sj.Spec()
+		spec, err := sj.Spec()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "spec %d: %v", i, err)
+			return
+		}
+		specs[i] = spec
 	}
 	results, err := s.eng.ResolveBatch(specs)
 	if err != nil {
@@ -296,8 +307,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // — stream 2's start over all m banks — streamed as NDJSON, one
 // SweepRowJSON per line in b2 order. Query parameters: m, nc, d1, d2
 // (required), s (sections; 0 or absent for sectionless), consecutive
-// (with s: consecutive bank-to-section mapping), b1 (stream 1 start,
-// default 0).
+// (with s: consecutive bank-to-section mapping), mapping
+// (cyclic/consecutive; the spelled-out form of consecutive), priority
+// (fixed/cyclic/rr-cpu arbitration), b1 (stream 1 start, default 0).
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET /v1/sweep?m=..&nc=..&d1=..&d2=..")
@@ -345,6 +357,31 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "parameter \"consecutive\": want 0/1/true/false, got %q", v)
 		return
 	}
+	mapping := memsys.CyclicSections
+	if v := q.Get("mapping"); v != "" {
+		sm, err := memsys.ParseMapping(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "parameter \"mapping\": unknown section mapping %q (want cyclic or consecutive)", v)
+			return
+		}
+		if consec && sm != memsys.ConsecutiveSections {
+			httpError(w, http.StatusBadRequest, "parameter \"consecutive\" contradicts parameter \"mapping\"=%q", v)
+			return
+		}
+		mapping = sm
+	}
+	if consec {
+		mapping = memsys.ConsecutiveSections
+	}
+	priority := memsys.FixedPriority
+	if v := q.Get("priority"); v != "" {
+		pr, err := memsys.ParsePriority(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "parameter \"priority\": unknown priority rule %q (want fixed, cyclic or rr-cpu)", v)
+			return
+		}
+		priority = pr
+	}
 	specs := make([]sweep.ConfigSpec, 0, max(m, 0))
 	for b2 := 0; b2 < m; b2++ {
 		streams := []sweep.Stream{
@@ -355,7 +392,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			streams[1].CPU = 0
 		}
 		specs = append(specs, sweep.ConfigSpec{
-			M: m, S: sections, NC: nc, Streams: streams, Consecutive: consec,
+			M: m, S: sections, NC: nc, Streams: streams,
+			Mapping: mapping, Priority: priority,
 		})
 	}
 	if len(specs) == 0 {

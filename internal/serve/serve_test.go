@@ -344,7 +344,11 @@ func TestServeRestartWarmStart(t *testing.T) {
 	}
 	eng := sweep.NewEngine(sweep.Options{Workers: 1})
 	for i, sj := range req.Specs {
-		want, err := eng.Resolve(sj.Spec())
+		spec, err := sj.Spec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := eng.Resolve(spec)
 		if err != nil {
 			t.Fatal(err)
 		}

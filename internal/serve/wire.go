@@ -7,7 +7,10 @@ package serve
 // byte for byte. docs/SERVING.md documents every field.
 
 import (
+	"fmt"
+
 	"ivm/internal/cachestore"
+	"ivm/internal/memsys"
 	"ivm/internal/sweep"
 )
 
@@ -22,28 +25,55 @@ type StreamJSON struct {
 
 // SpecJSON is the request form of sweep.ConfigSpec: m banks, s
 // sections (0 or absent for sectionless), bank busy time nc, the
-// consecutive bank-to-section mapping flag, and one stream per port
-// in priority order.
+// policy fields — priority ("fixed", "cyclic", "rr-cpu") and mapping
+// ("cyclic", "consecutive"); absent fields mean the defaults, unknown
+// strings are a 400, never a silent default — and one stream per port
+// in priority order. The legacy consecutive flag is kept as shorthand
+// for mapping="consecutive" and must not contradict mapping.
 type SpecJSON struct {
 	M           int          `json:"m"`
 	S           int          `json:"s,omitempty"`
 	NC          int          `json:"nc"`
 	Consecutive bool         `json:"consecutive,omitempty"`
+	Priority    string       `json:"priority,omitempty"`
+	Mapping     string       `json:"mapping,omitempty"`
 	Streams     []StreamJSON `json:"streams"`
 }
 
-// Spec converts the wire form to the engine's ConfigSpec (validation
-// happens in the engine, which the handlers surface as 400s).
-func (sj SpecJSON) Spec() sweep.ConfigSpec {
+// Spec converts the wire form to the engine's ConfigSpec. The policy
+// strings are parsed strictly — an unknown name is an error naming the
+// offending field, surfaced by the handlers as a 400; structural
+// validation still happens in the engine.
+func (sj SpecJSON) Spec() (sweep.ConfigSpec, error) {
 	streams := make([]sweep.Stream, len(sj.Streams))
 	for i, st := range sj.Streams {
 		streams[i] = sweep.Stream{D: st.D, B: st.B, CPU: st.CPU}
 	}
-	return sweep.ConfigSpec{
+	spec := sweep.ConfigSpec{
 		M: sj.M, S: sj.S, NC: sj.NC,
-		Consecutive: sj.Consecutive,
-		Streams:     streams,
+		Streams: streams,
 	}
+	if sj.Priority != "" {
+		pr, err := memsys.ParsePriority(sj.Priority)
+		if err != nil {
+			return spec, fmt.Errorf("field %q: unknown priority rule %q (want fixed, cyclic or rr-cpu)", "priority", sj.Priority)
+		}
+		spec.Priority = pr
+	}
+	if sj.Mapping != "" {
+		sm, err := memsys.ParseMapping(sj.Mapping)
+		if err != nil {
+			return spec, fmt.Errorf("field %q: unknown section mapping %q (want cyclic or consecutive)", "mapping", sj.Mapping)
+		}
+		spec.Mapping = sm
+	}
+	if sj.Consecutive {
+		if sj.Mapping != "" && spec.Mapping != memsys.ConsecutiveSections {
+			return spec, fmt.Errorf("field %q contradicts field %q: consecutive=true with mapping=%q", "consecutive", "mapping", sj.Mapping)
+		}
+		spec.Mapping = memsys.ConsecutiveSections
+	}
+	return spec, nil
 }
 
 // ResultJSON is one resolved placement: the effective bandwidth as an

@@ -173,6 +173,13 @@ type Metrics struct {
 	CyclesFound    int64 // cyclic steady states detected
 	StepsSimulated int64 // clock periods stepped across all simulations
 	PairsSwept     int64 // sweep units (pairs/triples/section pairs/specs) completed
+	// PackedFallbacks counts specs that requested the packed kernel but
+	// were compiled onto the scalar one because the packed grant loop
+	// does not implement their priority rule
+	// (memsys.PackedSupportsPriority). Structurally zero while every
+	// known rule is packed-supported; the counter keeps any future
+	// partial-coverage kernel honest. Encoded as packed_fallbacks.
+	PackedFallbacks int64
 }
 
 // legacyFamilies are the families that predate the generic spec layer;
@@ -231,6 +238,7 @@ func (m Metrics) MarshalJSON() ([]byte, error) {
 	field("cycles_found", m.CyclesFound)
 	field("steps_simulated", m.StepsSimulated)
 	field("pairs_swept", m.PairsSwept)
+	field("packed_fallbacks", m.PackedFallbacks)
 	b.WriteByte('}')
 	return b.Bytes(), nil
 }
@@ -244,13 +252,14 @@ func (m *Metrics) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	*m = Metrics{
-		CacheHits:      raw["cache_hits"],
-		CacheMisses:    raw["cache_misses"],
-		AnalyticHits:   raw["analytic_hits"],
-		CacheEntries:   int(raw["cache_entries"]),
-		CyclesFound:    raw["cycles_found"],
-		StepsSimulated: raw["steps_simulated"],
-		PairsSwept:     raw["pairs_swept"],
+		CacheHits:       raw["cache_hits"],
+		CacheMisses:     raw["cache_misses"],
+		AnalyticHits:    raw["analytic_hits"],
+		CacheEntries:    int(raw["cache_entries"]),
+		CyclesFound:     raw["cycles_found"],
+		StepsSimulated:  raw["steps_simulated"],
+		PairsSwept:      raw["pairs_swept"],
+		PackedFallbacks: raw["packed_fallbacks"],
 	}
 	for k, hits := range raw {
 		if k == "cache_hits" || !strings.HasSuffix(k, "_cache_hits") {
@@ -323,6 +332,9 @@ func (m Metrics) Table() string {
 	t.Add("cache entries", m.CacheEntries)
 	t.Add("cache hit rate", fmt.Sprintf("%.1f%%", m.HitRate()*100))
 	t.Add("analytic hit rate", fmt.Sprintf("%.1f%%", m.AnalyticHitRate()*100))
+	if m.PackedFallbacks > 0 {
+		t.Add("packed fallbacks", m.PackedFallbacks)
+	}
 	for _, name := range familyOrder(m.Families, false) {
 		f := m.Families[name]
 		if f.Hits+f.Misses+f.Analytic == 0 {
@@ -359,6 +371,7 @@ type Engine struct {
 	fams  map[string]*familyCounter
 
 	cycles, steps, pairs atomic.Int64
+	packedFallbacks      atomic.Int64
 
 	// Observability counters (see Snapshot): wall time spent inside
 	// sweep calls, wall time inside steady-state detection, and the
@@ -416,9 +429,10 @@ func (e *Engine) familyCounter(name string) *familyCounter {
 // Metrics snapshots the engine's cumulative counters.
 func (e *Engine) Metrics() Metrics {
 	m := Metrics{
-		CyclesFound:    e.cycles.Load(),
-		StepsSimulated: e.steps.Load(),
-		PairsSwept:     e.pairs.Load(),
+		CyclesFound:     e.cycles.Load(),
+		StepsSimulated:  e.steps.Load(),
+		PairsSwept:      e.pairs.Load(),
+		PackedFallbacks: e.packedFallbacks.Load(),
 	}
 	e.famMu.Lock()
 	for name, c := range e.fams {
@@ -623,6 +637,22 @@ func (e *Engine) SweepSpec(spec ConfigSpec) SpecResult {
 	return out
 }
 
+// SpecGrid sweeps an explicit list of ConfigSpecs through the engine,
+// one work item per spec, results in input order. It is the generic
+// grid for policy sweeps: non-default (priority, mapping) specs do not
+// fit the theorem-comparing Grid/SectionGrid result shapes (those
+// embed fixed-priority analysis), but their capacity bounds are
+// priority-independent, so SpecResult is exact for any policy.
+func (e *Engine) SpecGrid(specs []ConfigSpec) []SpecResult {
+	out := make([]SpecResult, len(specs))
+	e.run(len(specs), func(w *worker, i int) {
+		e.pairs.Add(1)
+		cs := w.compile(specs[i])
+		out[i] = sweepSpecWith(specs[i], func(b []int) rat.Rational { return w.bw(cs, b) })
+	})
+	return out
+}
+
 // NStreamGrid is the parallel, cached equivalent of NStreamGrid: every
 // nondecreasing non-self-conflicting distance N-tuple over all
 // m^(N-1) relative placements.
@@ -659,16 +689,21 @@ type worker struct {
 	pipeM, pipeStep, pipeFix int
 }
 
-// system returns the worker's simulator for cfg, reset and ready for
-// ports — reusing allocations whenever the configuration repeats.
-func (w *worker) system(cfg memsys.Config) *memsys.System {
+// system returns the worker's simulator for cfg on kernel kern, reset
+// and ready for ports — reusing allocations whenever the configuration
+// repeats. The kernel is (re)applied after Reset because it is now a
+// per-spec choice (compile may fall a spec back to scalar), and
+// SetKernel is legal there: every bank is idle and the call is a no-op
+// when the kernel is unchanged.
+func (w *worker) system(cfg memsys.Config, kern memsys.Kernel) *memsys.System {
 	if w.sys != nil && w.cfg == cfg {
 		w.sys.Reset()
+		w.sys.SetKernel(kern)
 		return w.sys
 	}
 	w.flushStats()
 	w.sys = memsys.New(cfg)
-	w.sys.SetKernel(w.e.opt.kernel())
+	w.sys.SetKernel(kern)
 	w.cfg = cfg
 	if w.e.opt.CollectStats {
 		w.col = stats.Attach(w.sys)
@@ -758,7 +793,15 @@ func (w *worker) sweepTriple(m, nc int, d [3]int) TripleSweepResult {
 // u ≡ 1 (mod s) subgroup is unsound here (docs/CACHING.md derives the
 // counterexample; the consecutive differential test pins soundness of
 // what ships).
-func (w *worker) pipelineFor(m, s int, consec bool) modmath.Pipeline {
+//
+// The priority rule does NOT enter: every arbitration rule decides
+// winners from (port ID, CPU, clock) alone and consults banks only
+// through equality and section-membership tests, both of which an
+// affine renumbering preserves (the bank-blind arbitration lemma,
+// docs/CACHING.md). The pipeline therefore depends only on the
+// mapping; the policy differential campaign (TestDifferentialPolicies,
+// ivmablate -study policies) is the empirical gate on that argument.
+func (w *worker) pipelineFor(m, s int, mapping memsys.SectionMapping) modmath.Pipeline {
 	step := 1
 	if s > 1 {
 		step = s
@@ -767,7 +810,7 @@ func (w *worker) pipelineFor(m, s int, consec bool) modmath.Pipeline {
 	if s > 1 && !w.e.opt.sectionFullUnits() {
 		fix = s
 	}
-	if consec {
+	if mapping == memsys.ConsecutiveSections {
 		step = m / s
 		fix = m // UnitsFixing(m, m) = {1}: no scaling
 	}
@@ -790,6 +833,11 @@ type compiledSpec struct {
 	counter *familyCounter
 	canon   modmath.Pipeline
 	cfg     memsys.Config
+	// kernel is the inner-loop implementation this spec simulates on:
+	// the engine-wide request, demoted to scalar (with the fallback
+	// counted) when the packed kernel does not cover the spec's
+	// priority rule.
+	kernel memsys.Kernel
 
 	// gate is the analytic fast path for this spec, or nil when the
 	// spec is outside the theorems' model (sectioned, not two streams)
@@ -822,10 +870,15 @@ func (w *worker) compile(spec ConfigSpec) *compiledSpec {
 		family:  spec.Family(),
 		cpus:    packInts(cpus),
 		cpuList: cpus,
-		canon:   w.pipelineFor(spec.M, spec.S, spec.Consecutive),
+		canon:   w.pipelineFor(spec.M, spec.S, spec.Mapping),
 		cfg:     specConfig(spec),
+		kernel:  w.e.opt.kernel(),
 		vec:     make([]int, 2*n),
 		b:       make([]int, n),
+	}
+	if cs.kernel == memsys.KernelPacked && !memsys.PackedSupportsPriority(spec.Priority) {
+		cs.kernel = memsys.KernelScalar
+		w.e.packedFallbacks.Add(1)
 	}
 	cs.counter = w.e.familyCounter(cs.family)
 	for i, st := range spec.Streams {
@@ -835,8 +888,10 @@ func (w *worker) compile(spec ConfigSpec) *compiledSpec {
 	// stream 1 holding the fixed priority — exactly what specConfig
 	// builds for such specs, so the gate is sound for any CPU layout
 	// (with s = m every path conflict is already a bank-level event).
+	// NewPairGateUnder declines every other priority rule: those specs
+	// always simulate, whatever Options.Analytic says.
 	if w.e.opt.analytic() && spec.S == 0 && n == 2 {
-		if g := core.NewPairGate(spec.M, spec.NC, spec.Streams[0].D, spec.Streams[1].D); g.Active() {
+		if g := core.NewPairGateUnder(spec.M, spec.NC, spec.Streams[0].D, spec.Streams[1].D, spec.Priority); g.Active() {
 			cs.gate = &g
 			cs.gateTheorem = g.TheoremID()
 		}
@@ -930,7 +985,7 @@ func (w *worker) resolve(cs *compiledSpec, b []int, wantCanon bool) (rat.Rationa
 			return v, resolution{path: PathAnalytic, theorem: cs.gateTheorem}
 		}
 	}
-	packed := e.opt.kernel() == memsys.KernelPacked
+	packed := cs.kernel == memsys.KernelPacked
 	simPath := PathSimScalar
 	if packed {
 		simPath = PathSimPacked
@@ -986,7 +1041,7 @@ func (e *Engine) miss(c *familyCounter) { c.misses.Add(1) }
 // worker's reusable simulator, returning the bandwidth and the
 // detected steady state (for provenance records).
 func (w *worker) simulate(cs *compiledSpec, v []int) (rat.Rational, memsys.Cycle) {
-	sys := w.system(cs.cfg)
+	sys := w.system(cs.cfg, cs.kernel)
 	addSpecStreams(sys, cs.spec, v)
 	c := w.findCycle(sys, describeSpec(cs.spec, v))
 	return c.EffectiveBandwidth(), c

@@ -40,13 +40,29 @@ type Stream struct {
 type ConfigSpec struct {
 	M, S, NC int
 	Streams  []Stream
-	// Consecutive selects the consecutive bank-to-section mapping
-	// (memsys.ConsecutiveSections, the Fig. 9 remedy): section(j) =
-	// floor(j / (m/s)) instead of the cyclic j mod s. Only meaningful
+	// Mapping selects the bank-to-section distribution.
+	// memsys.ConsecutiveSections (the Fig. 9 remedy, section(j) =
+	// floor(j / (m/s)) instead of the cyclic j mod s) is only meaningful
 	// with S > 0; it narrows the cache's canonicalisation group (see
 	// worker.pipelineFor and docs/CACHING.md) and keys its own
-	// configuration families.
-	Consecutive bool
+	// configuration families ("-consec" suffix).
+	Mapping memsys.SectionMapping
+	// Priority selects the arbitration rule among simultaneous
+	// requests. Non-default rules key their own configuration families
+	// ("-cyc" / "-rrcpu" suffixes); the canonicalisation pipeline is
+	// unchanged — arbitration is bank-blind, so bank renumbering
+	// commutes with every rule (docs/CACHING.md) — but the analytic
+	// pair gate declines anything but fixed priority.
+	Priority memsys.PriorityRule
+}
+
+// WithPolicy returns a copy of the spec under the given arbitration
+// rule and section mapping — the fluent way to lift any family
+// constructor (PairSpec, SectionPairSpec, …) into a policy variant.
+func (c ConfigSpec) WithPolicy(priority memsys.PriorityRule, mapping memsys.SectionMapping) ConfigSpec {
+	c.Priority = priority
+	c.Mapping = mapping
+	return c
 }
 
 // Validate checks the spec against the memory system's invariants.
@@ -63,8 +79,19 @@ func (c ConfigSpec) Validate() error {
 	if c.S > 0 && c.M%c.S != 0 {
 		return fmt.Errorf("spec: sections %d must divide banks %d", c.S, c.M)
 	}
-	if c.Consecutive && c.S == 0 {
-		return fmt.Errorf("spec: consecutive mapping needs sections")
+	switch c.Mapping {
+	case memsys.CyclicSections:
+	case memsys.ConsecutiveSections:
+		if c.S == 0 {
+			return fmt.Errorf("spec: consecutive mapping needs sections")
+		}
+	default:
+		return fmt.Errorf("spec: unknown section mapping %d", int(c.Mapping))
+	}
+	switch c.Priority {
+	case memsys.FixedPriority, memsys.CyclicPriority, memsys.RoundRobinPerCPU:
+	default:
+		return fmt.Errorf("spec: unknown priority rule %d", int(c.Priority))
 	}
 	if len(c.Streams) == 0 {
 		return fmt.Errorf("spec: no streams")
@@ -83,27 +110,39 @@ func (c ConfigSpec) Validate() error {
 // names: "pair" (two sectionless streams on CPUs 0 and 1), "triple"
 // (three sectionless streams on CPUs 0, 1, 2) and "section" (two
 // streams of one CPU against a sectioned memory). Other shapes derive
-// "streamN" / "sectionN" names from the stream count. Consecutive
-// mapping appends "-consec": the two mappings produce different
-// conflict structures, so their cyclic states must never collide in
-// the cache.
+// "streamN" / "sectionN" names from the stream count. Non-default
+// policies append suffixes — "-consec" for the consecutive mapping,
+// then "-cyc" / "-rrcpu" for a rotating priority rule — so specs that
+// differ in policy produce different conflict structures and must
+// never collide in the cache; the default (cyclic mapping, fixed
+// priority) keeps the bare historical names, which pins every
+// pre-policy golden, benchmark family key and served response byte.
 func (c ConfigSpec) Family() string {
 	n := len(c.Streams)
+	var name string
 	if c.S == 0 {
-		if n == 2 && c.Streams[0].CPU == 0 && c.Streams[1].CPU == 1 {
-			return "pair"
+		switch {
+		case n == 2 && c.Streams[0].CPU == 0 && c.Streams[1].CPU == 1:
+			name = "pair"
+		case n == 3 && c.Streams[0].CPU == 0 && c.Streams[1].CPU == 1 && c.Streams[2].CPU == 2:
+			name = "triple"
+		default:
+			name = "stream" + strconv.Itoa(n)
 		}
-		if n == 3 && c.Streams[0].CPU == 0 && c.Streams[1].CPU == 1 && c.Streams[2].CPU == 2 {
-			return "triple"
+	} else {
+		name = "section" + strconv.Itoa(n)
+		if n == 2 && c.Streams[0].CPU == 0 && c.Streams[1].CPU == 0 {
+			name = "section"
 		}
-		return "stream" + strconv.Itoa(n)
 	}
-	name := "section" + strconv.Itoa(n)
-	if n == 2 && c.Streams[0].CPU == 0 && c.Streams[1].CPU == 0 {
-		name = "section"
-	}
-	if c.Consecutive {
+	if c.Mapping == memsys.ConsecutiveSections {
 		name += "-consec"
+	}
+	switch c.Priority {
+	case memsys.CyclicPriority:
+		name += "-cyc"
+	case memsys.RoundRobinPerCPU:
+		name += "-rrcpu"
 	}
 	return name
 }
@@ -134,7 +173,7 @@ func SectionPairSpec(m, s, nc, d1, d2 int) ConfigSpec {
 // the "section-consec" family.
 func ConsecSectionPairSpec(m, s, nc, d1, d2 int) ConfigSpec {
 	spec := SectionPairSpec(m, s, nc, d1, d2)
-	spec.Consecutive = true
+	spec.Mapping = memsys.ConsecutiveSections
 	return spec
 }
 
@@ -183,11 +222,10 @@ func specConfig(spec ConfigSpec) memsys.Config {
 			cpus = st.CPU + 1
 		}
 	}
-	mapping := memsys.CyclicSections
-	if spec.Consecutive {
-		mapping = memsys.ConsecutiveSections
+	return memsys.Config{
+		Banks: spec.M, Sections: spec.S, BankBusy: spec.NC, CPUs: cpus,
+		Mapping: spec.Mapping, Priority: spec.Priority,
 	}
-	return memsys.Config{Banks: spec.M, Sections: spec.S, BankBusy: spec.NC, CPUs: cpus, Mapping: mapping}
 }
 
 // streamLabel names stream i in tables and traces ("1", "2", …).
@@ -397,6 +435,24 @@ func nStreamSpecs(m, nc, n int) []ConfigSpec {
 		specs[i] = NStreamSpec(m, nc, d)
 	}
 	return specs
+}
+
+// GridSpecs lists the pair sweep's distance pairs (Grid's enumeration)
+// as specs, in sweep order; s != 0 selects the section sweep's
+// enumeration instead. Combined with ConfigSpec.WithPolicy and
+// Engine.SpecGrid this is the policy sweep: the same pair families
+// under any arbitration priority and section mapping.
+func GridSpecs(m, s, nc int) []ConfigSpec {
+	pairs := gridPairs(m, nc)
+	out := make([]ConfigSpec, len(pairs))
+	for i, p := range pairs {
+		if s != 0 {
+			out[i] = SectionPairSpec(m, s, nc, p[0], p[1])
+		} else {
+			out[i] = PairSpec(m, nc, p[0], p[1])
+		}
+	}
+	return out
 }
 
 // SpecTable renders an N-stream grid sweep as an aligned text table;

@@ -36,11 +36,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${1:-1s}"
-out="BENCH_sweep.json"
+out="${BENCH_OUT:-BENCH_sweep.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkSweep(Sequential|Parallel|TriplesSequential|TriplesParallel|SectionsSequential|SectionsParallel|TripleCensusTranslated|NStreamParallel|AnalyticFastPath|KernelPacked|Provenance)$|BenchmarkPhaseHistogram$|BenchmarkServed(Single|Batch)$' \
+go test -run '^$' -bench 'BenchmarkSweep(Sequential|Parallel|TriplesSequential|TriplesParallel|SectionsSequential|SectionsParallel|TripleCensusTranslated|NStreamParallel|AnalyticFastPath|KernelPacked|Policies|Provenance)$|BenchmarkPhaseHistogram$|BenchmarkServed(Single|Batch)$' \
 	-benchmem -benchtime "$benchtime" . | tee "$raw"
 
 # Benchmark lines look like:
@@ -92,6 +92,10 @@ function metric(name,   i) {
 	k_ns = metric("ns/op"); k_cycles = metric("cycles")
 	k_speedup = metric("speedup_vs_scalar")
 }
+/^BenchmarkSweepPolicies/ {
+	po_ns = metric("ns/op")
+	po_hit = metric("policy_cache_hit_%"); po_sps = metric("policy_specs_per_s")
+}
 /^BenchmarkSweepProvenance/ {
 	pr_ns = metric("ns/op")
 	pr_analytic = metric("analytic_path_%"); pr_cache = metric("cache_path_%")
@@ -110,7 +114,7 @@ function metric(name,   i) {
 	ph_cycle = metric("cycle_clocks")
 }
 END {
-	if (seq_ns == "" || par_ns == "" || t_par_ns == "" || s_par_ns == "" || c_base == "" || ns_hit == "" || ph_grants == "" || a_ns == "" || k_ns == "" || pr_ns == "" || sv_ns == "" || sb_cold == "") {
+	if (seq_ns == "" || par_ns == "" || t_par_ns == "" || s_par_ns == "" || c_base == "" || ns_hit == "" || ph_grants == "" || a_ns == "" || k_ns == "" || po_ns == "" || pr_ns == "" || sv_ns == "" || sb_cold == "") {
 		print "bench.sh: missing benchmark output" > "/dev/stderr"; exit 1
 	}
 	printf "{\n"
@@ -155,6 +159,12 @@ END {
 	printf "    \"ns_per_op\": %s,\n", k_ns
 	printf "    \"cycles_found\": %s,\n", k_cycles
 	printf "    \"speedup_vs_scalar\": %s\n", k_speedup
+	printf "  },\n"
+	printf "  \"policies\": {\n"
+	printf "    \"census\": \"pair grid m=8 nc=2 under cyclic priority (family pair-cyc, gate declines)\",\n"
+	printf "    \"ns_per_op\": %s,\n", po_ns
+	printf "    \"cache_hit_rate_percent\": %s,\n", po_hit
+	printf "    \"specs_per_s\": %s\n", po_sps
 	printf "  },\n"
 	printf "  \"provenance\": {\n"
 	printf "    \"census\": \"cross-validation pair grids + stream4, recorder attached\",\n"

@@ -8,7 +8,10 @@
 # exercised under the race detector too, including a short pass over
 # the differential equivalence harness (docs/KERNEL.md) that pins the
 # packed kernel and the analytic gate to the scalar oracle with the
-# fast path forced both on and off. Two live probes close the run:
+# fast path forced both on and off. A single-iteration bench.sh run
+# is then diffed against the committed BENCH_sweep.json by
+# scripts/benchdiff.go, gating on catastrophic timing regressions.
+# Two live probes close the run:
 # ivmsweep serving -metrics-addr on a loopback port is scraped over
 # HTTP, pinning the Prometheus exposition format end to end
 # (docs/OBSERVABILITY.md), and ivmserved answers a known analytic pair
@@ -54,13 +57,30 @@ go test -race ./internal/memsys ./internal/sweep
 # forced off — so this pass exercises the fast path both on and off.
 go test -race -short -run Differential ./internal/memsys ./internal/sweep
 
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"; [ -n "${srv:-}" ] && kill "$srv" 2>/dev/null || true' EXIT
+
+# Benchmark regression gate: a single-iteration bench.sh run diffed
+# against the committed BENCH_sweep.json. One iteration is noisy (the
+# served single-query metric amortises server startup over one
+# request), so the threshold only catches catastrophic (order of
+# magnitude) timing regressions; run scripts/bench.sh with the default
+# benchtime for a real comparison.
+if [ -f BENCH_sweep.json ]; then
+	BENCH_OUT="$tmp/BENCH_new.json" scripts/bench.sh 1x > "$tmp/bench.log" 2>&1 || {
+		cat "$tmp/bench.log" >&2
+		echo "check.sh: bench.sh failed" >&2
+		exit 1
+	}
+	go run ./scripts/benchdiff.go -threshold 900 BENCH_sweep.json "$tmp/BENCH_new.json"
+	echo "check.sh: benchdiff regression gate OK (threshold 900%, 1x smoke run)"
+fi
+
 # Live metrics probe: a short ivmsweep run serving -metrics-addr is
 # scraped over HTTP. /healthz must answer "ok" and /metrics must carry
 # the pinned Prometheus exposition lines below — the byte-exact format
 # itself is golden-tested in internal/obs (prom_test.go); this step
 # pins the served wire format end to end.
-tmp="$(mktemp -d)"
-trap 'rm -rf "$tmp"; [ -n "${srv:-}" ] && kill "$srv" 2>/dev/null || true' EXIT
 go build -o "$tmp/ivmsweep" ./cmd/ivmsweep
 "$tmp/ivmsweep" -m 13 -nc 4 -metrics-addr 127.0.0.1:0 -metrics-linger 30s \
 	> /dev/null 2> "$tmp/stderr" &
