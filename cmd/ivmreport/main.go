@@ -36,6 +36,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the engine metrics snapshot as JSON to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address: /metrics Prometheus text, /metrics.json, /healthz, /debug/vars expvar, /debug/pprof")
 	provenanceFlag := flag.Bool("provenance", true, "record result provenance and append the attribution section to the report")
+	latencyFlag := flag.Bool("latency", false, "record a per-work-item latency histogram and print p50/p95/p99 to stderr (also in -metrics-out); off by default so regenerated reports stay deterministic")
 	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -57,11 +58,17 @@ func main() {
 	if *provenanceFlag {
 		prov = sweep.NewProvenance(0)
 	}
-	eng := sweep.NewEngine(sweep.Options{Workers: *workers, CacheSize: *cache,
-		Analytic: analytic, PackedKernel: packed, Provenance: prov})
+	eopt := sweep.Options{Workers: *workers, CacheSize: *cache,
+		Analytic: analytic, PackedKernel: packed, Provenance: prov}
+	var itemLatency *obs.LatencyHist
+	if *latencyFlag {
+		itemLatency = obs.NewLatencyHist()
+		eopt.ItemLatency = itemLatency
+	}
+	eng := sweep.NewEngine(eopt)
 	opts.Engine = eng
 	if *metricsAddr != "" {
-		closer, err := obs.ServeMetrics("ivmreport", *metricsAddr, func() *sweep.Engine { return eng }, nil)
+		closer, err := obs.ServeMetrics("ivmreport", *metricsAddr, func() *sweep.Engine { return eng }, nil, itemLatency)
 		if err != nil {
 			fail(err)
 		}
@@ -72,9 +79,17 @@ func main() {
 		stop()
 		fail(err)
 	}
+	if itemLatency != nil {
+		fmt.Fprintf(os.Stderr, "work-item latency: %s\n", itemLatency.Snapshot().Summary())
+	}
 	if *metricsOut != "" {
 		snap := eng.Snapshot()
-		if err := obs.WriteSnapshotFile(*metricsOut, obs.Snapshot{Engine: &snap}); err != nil {
+		out := obs.Snapshot{Engine: &snap}
+		if itemLatency != nil {
+			ls := itemLatency.Snapshot()
+			out.ItemLatency = &ls
+		}
+		if err := obs.WriteSnapshotFile(*metricsOut, out); err != nil {
 			stop()
 			fail(err)
 		}

@@ -9,8 +9,20 @@
 //	GET  /v1/sweep?...   a stride pair's start sweep, streamed NDJSON
 //	GET  /healthz        liveness + persistent-store integrity
 //	GET  /metrics        Prometheus exposition: ivmserved_* request,
-//	                     latency and hit-path counters beside the
-//	                     engine's ivm_sweep_* metrics
+//	                     latency and hit-path counters (including the
+//	                     ivmserved_request_duration_seconds histogram)
+//	                     beside the engine's ivm_sweep_* metrics
+//	GET  /statusz        human-readable state: traffic, latency
+//	                     quantiles, hit rates, recent slow requests
+//	GET  /debug/requests.trace  recent requests as a Chrome trace
+//
+// Every request is traced: an incoming X-Request-ID is honored
+// (minted when absent) and echoed on the response, and the request's
+// phase spans (decode, gate, canonicalise, cache-probe, simulate,
+// encode) are recorded into the trace export. With -access-log each
+// request also writes one JSON line (id, endpoint, status, answer
+// path, theorem, latency); requests over -slow-ms are logged at WARN
+// with their span breakdown and surface on /statusz.
 //
 // With -cache-dir the canonical-key cache persists across restarts:
 // records load on start (warm start — previously simulated orbits
@@ -25,6 +37,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -45,6 +58,8 @@ func main() {
 	syncEvery := flag.Duration("sync", 5*time.Second, "fsync interval for the persistent store's log")
 	analytic := flag.Bool("analytic", true, "answer theorem-provable pair placements analytically instead of simulating (results are byte-identical either way)")
 	kernelName := flag.String("kernel", "packed", "simulator kernel: packed (bit-packed bank-busy) or scalar (the reference oracle)")
+	accessLog := flag.String("access-log", "", "write a JSON access log (one line per request) to this file; \"-\" for stderr")
+	slowMS := flag.Int("slow-ms", 0, "log requests slower than this many milliseconds at WARN with their span breakdown and keep them on /statusz; 0 disables")
 	flag.Parse()
 
 	packed, err := sweep.KernelOption(*kernelName)
@@ -58,6 +73,19 @@ func main() {
 		Workers:   *workers,
 		CacheSize: *cacheSize,
 		Analytic:  analytic, PackedKernel: packed,
+		SlowThreshold: time.Duration(*slowMS) * time.Millisecond,
+	}
+	if *accessLog != "" {
+		logW := os.Stderr
+		if *accessLog != "-" {
+			f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fail("ivmserved: access log: %v", err)
+			}
+			defer f.Close()
+			logW = f
+		}
+		opt.AccessLog = slog.New(slog.NewJSONHandler(logW, nil))
 	}
 	var store *cachestore.Store
 	if *cacheDir != "" {

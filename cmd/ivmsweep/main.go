@@ -73,6 +73,7 @@ func main() {
 	provenanceFlag := flag.Bool("provenance", false, "print the result-attribution report: per-family path split, per-theorem analytic hits, orbit sizes and the top unexplained orbits")
 	provenanceCSV := flag.String("provenance-csv", "", "write the result-attribution report as long-form CSV")
 	progressEvery := flag.Duration("progress", 0, "print a live progress line (items/s, ETA, path split) to stderr at this period; 0 disables")
+	latencyFlag := flag.Bool("latency", false, "record a per-work-item latency histogram and print p50/p95/p99 (also in -metrics-out and -metrics-addr)")
 	cacheExport := flag.String("cache-export", "", "after the sweeps, export the cyclic-state cache to the persistent store in this directory (warm-start set for ivmserved -cache-dir)")
 	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -130,14 +131,19 @@ func main() {
 	if *progressEvery > 0 || *metricsAddr != "" {
 		prog = obs.NewProgress(prov)
 	}
+	var itemLatency *obs.LatencyHist
+	if *latencyFlag {
+		itemLatency = obs.NewLatencyHist()
+	}
 	eng := sweep.NewEngine(sweep.Options{
 		Workers: *workers, CacheSize: *cache, CollectStats: *showStats,
 		SectionFullUnits: fullUnits, Timeline: timeline,
 		Analytic: analytic, PackedKernel: packed,
 		Provenance: prov, Progress: progressSink(prog),
+		ItemLatency: latencySink(itemLatency),
 	})
 	if *metricsAddr != "" {
-		closer, err := obs.ServeMetrics("ivmsweep", *metricsAddr, func() *sweep.Engine { return eng }, prog)
+		closer, err := obs.ServeMetrics("ivmsweep", *metricsAddr, func() *sweep.Engine { return eng }, prog, itemLatency)
 		if err != nil {
 			fail("%v", err)
 		}
@@ -158,6 +164,9 @@ func main() {
 
 	fmt.Println()
 	fmt.Print(eng.Metrics().Table())
+	if itemLatency != nil {
+		fmt.Printf("\nwork-item latency: %s\n", itemLatency.Snapshot().Summary())
+	}
 	if *provenanceFlag {
 		fmt.Println()
 		fmt.Print(prov.Snapshot().Table())
@@ -219,6 +228,10 @@ func main() {
 			cs := col.Snapshot()
 			snap.Stats = &cs
 		}
+		if itemLatency != nil {
+			ls := itemLatency.Snapshot()
+			snap.ItemLatency = &ls
+		}
 		if err := obs.WriteSnapshotFile(*metricsOut, snap); err != nil {
 			fail("%v", err)
 		}
@@ -264,6 +277,15 @@ func progressSink(p *obs.Progress) sweep.ProgressSink {
 		return nil
 	}
 	return p
+}
+
+// latencySink adapts a possibly-nil histogram to the engine's sink
+// interface without boxing a typed nil into a non-nil interface.
+func latencySink(h *obs.LatencyHist) sweep.LatencySink {
+	if h == nil {
+		return nil
+	}
+	return h
 }
 
 // sweepFlags collects the mutually exclusive sweep-family selectors

@@ -18,10 +18,24 @@ import (
 // returns its closer. name keys the expvar publication; engine
 // resolves the sweep engine on every poll (nil, or returning nil,
 // serves only the liveness gauge plus expvar/pprof); prog optionally
-// adds the progress tracker's JSON and Prometheus views. The endpoint
-// summary is printed to stderr so an operator can copy the scrape URL.
-func ServeMetrics(name, addr string, engine func() *sweep.Engine, prog *Progress) (io.Closer, error) {
+// adds the progress tracker's JSON and Prometheus views; a non-nil
+// itemLatency histogram (the engine's ItemLatency sink under
+// -latency) adds the ivm_sweep_item_duration_seconds histogram and
+// the item_latency JSON view. The endpoint summary is printed to
+// stderr so an operator can copy the scrape URL.
+func ServeMetrics(name, addr string, engine func() *sweep.Engine, prog *Progress, itemLatency ...*LatencyHist) (io.Closer, error) {
 	reg := NewRegistry()
+	for _, h := range itemLatency {
+		if h == nil {
+			continue
+		}
+		h := h
+		reg.Register("item_latency", func() any { return h.Snapshot() })
+		reg.RegisterProm("item_latency", func() []PromMetric {
+			return []PromMetric{Histogram("ivm_sweep_item_duration_seconds",
+				"Sweep work-item latency distribution (log2 buckets).").HistSample(h.Snapshot())}
+		})
+	}
 	if engine != nil {
 		reg.Register("engine", func() any {
 			if eng := engine(); eng != nil {

@@ -30,6 +30,11 @@ type Snapshot struct {
 	// traced steady state (ivmsim -phase-hist). Readers built before
 	// this field existed ignore it: ReadSnapshot skips unknown keys.
 	PhaseHistogram *PhaseHistogram `json:"phase_histogram,omitempty"`
+	// ItemLatency holds the work-item latency histogram when the run
+	// attached one (ivmsweep/ivmreport -latency): log2 buckets plus
+	// estimated p50/p95/p99. Readers built before this field existed
+	// ignore it.
+	ItemLatency *LatencyHistSnapshot `json:"item_latency,omitempty"`
 }
 
 // WriteSnapshot serialises the snapshot as indented JSON.

@@ -90,6 +90,59 @@ func (b *syncBuffer) String() string {
 	return b.buf.String()
 }
 
+// TestFmtETA pins the ETA renderer's edges: no measurable rate,
+// sub-second, rounding across a minute boundary, and multi-hour.
+func TestFmtETA(t *testing.T) {
+	for _, tc := range []struct {
+		seconds float64
+		want    string
+	}{
+		{0, "-"},         // zero rate: no projection yet
+		{-3, "-"},        // defensive: negative never renders
+		{0.4, "0s"},      // sub-second rounds down to zero seconds
+		{0.6, "1s"},      // ...and up past the half mark
+		{59.6, "1m0s"},   // rounding crosses the minute boundary
+		{7261, "2h1m1s"}, // multi-hour stays exact to the second
+	} {
+		if got := fmtETA(tc.seconds); got != tc.want {
+			t.Errorf("fmtETA(%g) = %q, want %q", tc.seconds, got, tc.want)
+		}
+	}
+}
+
+// TestProgressUnknownTotal: a tracker whose Total is unknown (work
+// done without any Add, or more done than announced) must project no
+// ETA, and the ivm_progress_eta_seconds gauge must read exactly 0
+// rather than a negative or runaway value.
+func TestProgressUnknownTotal(t *testing.T) {
+	prog := NewProgress(nil)
+	prog.Add(0) // starts the clock; total stays 0
+	prog.Done(5)
+	time.Sleep(2 * time.Millisecond) // let elapsed become measurable
+	s := prog.Snapshot()
+	if s.Total != 0 || s.Done != 5 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if s.Rate <= 0 {
+		t.Errorf("rate %g, want > 0 (work did complete)", s.Rate)
+	}
+	if s.ETA != 0 {
+		t.Errorf("ETA %g with unknown total, want 0", s.ETA)
+	}
+	var buf bytes.Buffer
+	if err := WritePromText(&buf, prog.PromMetrics()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	checkExposition(t, out)
+	if !strings.Contains(out, "ivm_progress_eta_seconds 0") {
+		t.Errorf("eta gauge not pinned to 0:\n%s", out)
+	}
+	if !strings.Contains(prog.Line(), "ETA -") {
+		t.Errorf("status line should render ETA as '-': %s", prog.Line())
+	}
+}
+
 func TestProgressPromMetrics(t *testing.T) {
 	prog := NewProgress(nil)
 	prog.Add(100)

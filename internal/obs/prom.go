@@ -22,8 +22,11 @@ import (
 )
 
 // PromSample is one sample line of a Prometheus metric: an optional
-// label set and the value.
+// label set and the value. Suffix, when set, is appended to the
+// metric name on the sample line — how histogram series render their
+// _bucket/_sum/_count families under one HELP/TYPE header.
 type PromSample struct {
+	Suffix string
 	Labels []PromLabel
 	Value  float64
 }
@@ -78,6 +81,50 @@ func (m PromMetric) Sample(pairs ...any) PromMetric {
 		m.Samples = m.Samples[:0]
 	}
 	m.Samples = append(m.Samples, s)
+	return m
+}
+
+// Histogram builds an empty Prometheus histogram metric; attach
+// per-label-set series with HistSample.
+func Histogram(name, help string) PromMetric {
+	return PromMetric{Name: name, Help: help, Type: "histogram"}
+}
+
+// HistSample appends one histogram series to the metric from a
+// LatencyHist snapshot: cumulative _bucket samples over the fixed
+// exposition window (upper bounds 2^12..2^34 ns in seconds, so every
+// series of the family shares the same le grid) plus +Inf, then _sum
+// and _count. pairs are label name/value pairs applied to every
+// sample of the series: HistSample(snap, "endpoint", "batch").
+func (m PromMetric) HistSample(snap LatencyHistSnapshot, pairs ...any) PromMetric {
+	if len(pairs)%2 != 0 {
+		panic("obs: HistSample wants label name/value pairs")
+	}
+	labels := make([]PromLabel, 0, len(pairs)/2+1)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		labels = append(labels, PromLabel{pairs[i].(string), fmt.Sprint(pairs[i+1])})
+	}
+	leLabels := func(le string) []PromLabel {
+		out := make([]PromLabel, len(labels), len(labels)+1)
+		copy(out, labels)
+		return append(out, PromLabel{"le", le})
+	}
+	var cum int64
+	bi := 0
+	for k := expoMinBucket; k <= expoMaxBucket; k++ {
+		upper := bucketUpperNS(k) / 1e9
+		for bi < len(snap.Buckets) && snap.Buckets[bi].UpperSeconds <= upper {
+			cum += snap.Buckets[bi].Count
+			bi++
+		}
+		m.Samples = append(m.Samples, PromSample{
+			Suffix: "_bucket", Labels: leLabels(promValue(upper)), Value: float64(cum),
+		})
+	}
+	m.Samples = append(m.Samples,
+		PromSample{Suffix: "_bucket", Labels: leLabels("+Inf"), Value: float64(snap.Count)},
+		PromSample{Suffix: "_sum", Labels: labels, Value: snap.SumSeconds},
+		PromSample{Suffix: "_count", Labels: labels, Value: float64(snap.Count)})
 	return m
 }
 
@@ -143,7 +190,7 @@ func WritePromText(w io.Writer, metrics []PromMetric) error {
 				}
 				lb.WriteByte('}')
 			}
-			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, lb.String(), promValue(s.Value)); err != nil {
+			if _, err := fmt.Fprintf(w, "%s%s%s %s\n", m.Name, s.Suffix, lb.String(), promValue(s.Value)); err != nil {
 				return err
 			}
 		}

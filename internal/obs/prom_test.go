@@ -94,7 +94,8 @@ func TestWritePromTextMergesDuplicates(t *testing.T) {
 var expositionLine = regexp.MustCompile(`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.e+-]+|NaN|[+-]Inf))$`)
 
 // checkExposition validates every line of a rendered exposition and
-// that each sample family is preceded by its TYPE header.
+// that each sample family is preceded by its TYPE header (histogram
+// samples carry the family name plus a _bucket/_sum/_count suffix).
 func checkExposition(t *testing.T, out string) {
 	t.Helper()
 	typed := map[string]bool{}
@@ -113,10 +114,66 @@ func checkExposition(t *testing.T, out string) {
 			if i := strings.IndexAny(line, "{ "); i >= 0 {
 				name = line[:i]
 			}
-			if !typed[name] {
+			family := name
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if base, ok := strings.CutSuffix(name, suffix); ok && typed[base] {
+					family = base
+					break
+				}
+			}
+			if !typed[family] {
 				t.Errorf("sample %q before its TYPE header", line)
 			}
 		}
+	}
+}
+
+// TestHistogramExposition pins the native-histogram rendering: one
+// HELP/TYPE header, cumulative _bucket series over the fixed le grid,
+// the +Inf bucket equal to _count, and _sum carrying the total.
+func TestHistogramExposition(t *testing.T) {
+	h := NewLatencyHist()
+	h.ObserveNS(5_000)      // ~5us, inside the exposition window
+	h.ObserveNS(1_000_000)  // 1ms
+	h.ObserveNS(40_000_000) // 40ms
+	h.ObserveNS(40_000_000) // 40ms
+	var buf bytes.Buffer
+	m := Histogram("req_seconds", "Request latency.").HistSample(h.Snapshot(), "endpoint", "bandwidth")
+	if err := WritePromText(&buf, []PromMetric{m}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	checkExposition(t, out)
+	for _, want := range []string{
+		"# TYPE req_seconds histogram",
+		`req_seconds_bucket{endpoint="bandwidth",le="+Inf"} 4`,
+		`req_seconds_count{endpoint="bandwidth"} 4`,
+		`req_seconds_sum{endpoint="bandwidth"} 0.081005`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+	// Bucket series must be cumulative and cover the whole window: the
+	// count at each le never decreases, starts at or above 1 (the 5us
+	// observation is inside the smallest window bucket's range or below
+	// it) and the largest finite le already holds all 4.
+	re := regexp.MustCompile(`req_seconds_bucket\{endpoint="bandwidth",le="([^"]+)"\} (\d+)`)
+	matches := re.FindAllStringSubmatch(out, -1)
+	if len(matches) != expoMaxBucket-expoMinBucket+2 {
+		t.Fatalf("want %d bucket series, got %d:\n%s", expoMaxBucket-expoMinBucket+2, len(matches), out)
+	}
+	prev := -1
+	for _, match := range matches {
+		var n int
+		fmt.Sscanf(match[2], "%d", &n)
+		if n < prev {
+			t.Errorf("bucket le=%s count %d < previous %d (not cumulative)", match[1], n, prev)
+		}
+		prev = n
+	}
+	if last := matches[len(matches)-2]; last[2] != "4" {
+		t.Errorf("largest finite bucket holds %s of 4 observations", last[2])
 	}
 }
 

@@ -1,0 +1,118 @@
+package obs
+
+// Request-scoped tracing: a TraceContext collects the named spans of
+// one request — decode, canonicalise, cache-probe, gate, simulate,
+// encode — stamped relative to the request's start. ivmserved builds
+// one per API request (honoring an incoming X-Request-ID or minting
+// one), threads it through context.Context into the engine's resolve
+// path (it implements sweep.SpanSink), and exports completed requests
+// into the Chrome-trace writer as the "requests" process
+// (WriteRequestTrace) and into the slog access log. A nil TraceContext
+// is fully detached: every method is a no-op that allocates nothing,
+// the same zero-cost contract as the detached tracer and timeline.
+
+import (
+	"sync"
+	"time"
+
+	"ivm/internal/sweep"
+)
+
+// Span is one named interval of a traced request, stamped in
+// nanoseconds relative to the request's start.
+type Span struct {
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// DefaultTraceContextCapacity bounds the spans one TraceContext
+// retains; a batch of thousands of specs keeps its first spans and
+// counts the rest as dropped, so one request cannot hold unbounded
+// memory.
+const DefaultTraceContextCapacity = 512
+
+// TraceContext is the span recorder of one request. Safe for
+// concurrent use (batch resolutions record from many workers); build
+// with NewTraceContext. It implements sweep.SpanSink, so it can ride
+// a context.Context into Engine.ResolveBatchCtx.
+type TraceContext struct {
+	id    string
+	epoch time.Time
+
+	mu      sync.Mutex
+	spans   []Span
+	dropped int64
+}
+
+// TraceContext must satisfy the engine's span seam.
+var _ sweep.SpanSink = (*TraceContext)(nil)
+
+// NewTraceContext builds a recorder for one request; id is the
+// request's trace identifier (the X-Request-ID value). The epoch is
+// now: span stamps are relative to it.
+func NewTraceContext(id string) *TraceContext {
+	return &TraceContext{id: id, epoch: time.Now()}
+}
+
+// ID returns the request identifier ("" on nil).
+func (t *TraceContext) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Start returns a span-start token: nanoseconds since the request
+// began (0 on nil). Pass it to Span to close the interval.
+func (t *TraceContext) Start() int64 {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.epoch).Nanoseconds()
+}
+
+// Span records a named span begun at a Start token and ending now.
+// Past DefaultTraceContextCapacity spans it only counts drops.
+func (t *TraceContext) Span(name string, start int64) {
+	if t == nil {
+		return
+	}
+	end := time.Since(t.epoch).Nanoseconds()
+	t.mu.Lock()
+	if len(t.spans) >= DefaultTraceContextCapacity {
+		t.dropped++
+	} else {
+		t.spans = append(t.spans, Span{Name: name, StartNS: start, DurNS: end - start})
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in recording order (nil
+// on a nil context).
+func (t *TraceContext) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Dropped counts spans lost to the capacity bound (0 on nil).
+func (t *TraceContext) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Elapsed returns the time since the request began (0 on nil).
+func (t *TraceContext) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.epoch)
+}

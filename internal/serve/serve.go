@@ -20,8 +20,10 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -55,6 +57,15 @@ type Options struct {
 	// the defaults (gate on, packed kernel).
 	Analytic     *bool
 	PackedKernel *bool
+	// AccessLog, when non-nil, receives one structured line per API
+	// request (msg "request": id, endpoint, method, status, duration,
+	// answer path, theorem, family, result count) and a WARN line with
+	// the span breakdown for each request over SlowThreshold.
+	AccessLog *slog.Logger
+	// SlowThreshold marks requests at or above it as slow: logged at
+	// WARN with full provenance and retained for /statusz. Zero
+	// disables slow-query tracking.
+	SlowThreshold time.Duration
 }
 
 // numPaths is the provenance path count ([sweep.PathAnalytic,
@@ -80,8 +91,17 @@ type Server struct {
 	reg    *obs.Registry
 	seeded int
 
+	accessLog     *slog.Logger
+	slowThreshold time.Duration
+	start         time.Time
+	idBase        string
+	reqSeq        atomic.Int64
+
 	endpoints [4]endpointStats
+	latency   [4]*obs.LatencyHist
 	paths     [numPaths]atomic.Int64
+	traces    traceRing
+	slow      slowRing
 }
 
 // New builds a server: a provenance-recording engine sized for the
@@ -105,9 +125,16 @@ func New(opt Options) (*Server, error) {
 		return nil, fmt.Errorf("serve: caching disabled (CacheSize %d): the server IS the cache", opt.CacheSize)
 	}
 	s := &Server{
-		prov:  sweep.NewProvenance(0),
-		store: opt.Store,
-		reg:   obs.NewRegistry(),
+		prov:          sweep.NewProvenance(0),
+		store:         opt.Store,
+		reg:           obs.NewRegistry(),
+		accessLog:     opt.AccessLog,
+		slowThreshold: opt.SlowThreshold,
+		start:         time.Now(),
+		idBase:        newIDBase(),
+	}
+	for i := range s.latency {
+		s.latency[i] = obs.NewLatencyHist()
 	}
 	eopt := sweep.Options{
 		Workers:      opt.Workers,
@@ -129,6 +156,13 @@ func New(opt Options) (*Server, error) {
 	s.reg.RegisterProm("sweep", obs.SweepPromMetrics(s.eng))
 	s.reg.RegisterProm("served", s.promMetrics)
 	s.reg.Register("engine", func() any { return s.eng.Snapshot() })
+	s.reg.Register("requests", func() any {
+		out := make(map[string]obs.LatencyHistSnapshot, len(endpointNames))
+		for i, name := range endpointNames {
+			out[name] = s.latency[i].Snapshot()
+		}
+		return out
+	})
 	return s, nil
 }
 
@@ -140,19 +174,23 @@ func (s *Server) Engine() *sweep.Engine { return s.eng }
 func (s *Server) Seeded() int { return s.seeded }
 
 // Handler returns the server's full mux: the /v1 API, /healthz with
-// store integrity, and the registry's /metrics, /metrics.json and
-// /debug endpoints.
+// store integrity, the human-readable /statusz page, the Chrome-trace
+// export of recent requests at /debug/requests.trace, and the
+// registry's /metrics, /metrics.json and /debug endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/bandwidth", s.instrument(0, http.HandlerFunc(s.handleBandwidth)))
 	mux.Handle("/v1/batch", s.instrument(1, http.HandlerFunc(s.handleBatch)))
 	mux.Handle("/v1/sweep", s.instrument(2, http.HandlerFunc(s.handleSweep)))
 	mux.Handle("/healthz", s.instrument(3, http.HandlerFunc(s.handleHealthz)))
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/debug/requests.trace", s.handleRequestTrace)
 	s.reg.Mount(mux)
 	return mux
 }
 
-// statusWriter captures the response status for the error counters.
+// statusWriter captures the response status for the error counters
+// while forwarding the streaming capabilities of the wrapped writer.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -164,20 +202,112 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps an endpoint with the request/error/latency
-// counters behind ivmserved_*.
+// Flush forwards http.Flusher so streaming endpoints (the NDJSON
+// sweep) reach the client incrementally instead of buffering the
+// whole response behind the wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the wrapped writer to http.ResponseController, the
+// standard library's interface-upgrade escape hatch.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// instrument wraps an endpoint with the full request-scoped
+// observability: the ivmserved_* counters and latency histogram, the
+// per-request TraceContext (honoring or minting X-Request-ID, echoed
+// on the response), the slog access log, the slow-query log, and the
+// completed-request trace ring.
 func (s *Server) instrument(endpoint int, h http.Handler) http.Handler {
 	st := &s.endpoints[endpoint]
+	name := endpointNames[endpoint]
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
+		id := s.requestID(r)
+		tc := obs.NewTraceContext(id)
+		info := &reqInfo{tc: tc}
+		ctx := withRequestInfo(sweep.WithSpanSink(r.Context(), tc), info)
+		w.Header().Set("X-Request-ID", id)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		h.ServeHTTP(sw, r)
+		h.ServeHTTP(sw, r.WithContext(ctx))
+		dur := time.Since(t0)
 		st.requests.Add(1)
-		st.nanos.Add(time.Since(t0).Nanoseconds())
+		st.nanos.Add(dur.Nanoseconds())
+		s.latency[endpoint].Observe(dur)
 		if sw.status >= 400 {
 			st.errors.Add(1)
 		}
+		spans := tc.Spans()
+		s.traces.add(obs.RequestTrace{
+			ID: id, Endpoint: name, Status: sw.status,
+			StartNS: t0.Sub(s.start).Nanoseconds(), DurNS: dur.Nanoseconds(),
+			Spans: spans,
+		})
+		slow := s.slowThreshold > 0 && dur >= s.slowThreshold
+		if slow {
+			s.slow.add(slowEntry{
+				ID: id, Endpoint: name, Status: sw.status, When: t0, Dur: dur,
+				Path: info.path, Theorem: info.theorem, Family: info.family,
+				Results: info.results, Spans: spans,
+			})
+		}
+		if s.accessLog != nil {
+			s.accessLog.LogAttrs(context.Background(), slog.LevelInfo, "request",
+				slog.String("id", id), slog.String("endpoint", name),
+				slog.String("method", r.Method), slog.Int("status", sw.status),
+				slog.Float64("dur_ms", float64(dur.Nanoseconds())/1e6),
+				slog.String("path", info.path), slog.String("theorem", info.theorem),
+				slog.String("family", info.family), slog.Int("results", info.results))
+			if slow {
+				s.accessLog.LogAttrs(context.Background(), slog.LevelWarn, "slow request",
+					slog.String("id", id), slog.String("endpoint", name),
+					slog.Float64("dur_ms", float64(dur.Nanoseconds())/1e6),
+					slog.String("path", info.path), slog.String("theorem", info.theorem),
+					slog.String("family", info.family), slog.Int("results", info.results),
+					slog.String("spans", spanBreakdown(spans)),
+					slog.Int64("spans_dropped", tc.Dropped()))
+			}
+		}
 	})
+}
+
+// spanBreakdown folds a request's spans into a compact per-phase
+// summary ("simulate:3x42.1ms gate:3x0.2ms") ordered by total time,
+// the shape the slow-query log and /statusz print.
+func spanBreakdown(spans []obs.Span) string {
+	type agg struct {
+		name  string
+		count int
+		ns    int64
+	}
+	var order []*agg
+	byName := make(map[string]*agg)
+	for _, sp := range spans {
+		a := byName[sp.Name]
+		if a == nil {
+			a = &agg{name: sp.Name}
+			byName[sp.Name] = a
+			order = append(order, a)
+		}
+		a.count++
+		a.ns += sp.DurNS
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j].ns > order[j-1].ns; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	out := ""
+	for i, a := range order {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s:%dx%s", a.name, a.count,
+			time.Duration(a.ns).Round(time.Microsecond))
+	}
+	return out
 }
 
 // countPath folds one resolution into the hit-path counters.
@@ -201,12 +331,17 @@ func (s *Server) promMetrics() []obs.PromMetric {
 		errs = errs.Sample("endpoint", name, st.errors.Load())
 		secs = secs.Sample("endpoint", name, float64(st.nanos.Load())/1e9)
 	}
+	hist := obs.Histogram("ivmserved_request_duration_seconds",
+		"API request latency distribution, by endpoint (log2 buckets).")
+	for i, name := range endpointNames {
+		hist = hist.HistSample(s.latency[i].Snapshot(), "endpoint", name)
+	}
 	paths := obs.PromMetric{Name: "ivmserved_responses_total",
 		Help: "Query results returned, by answer path.", Type: "counter"}
 	for i := 0; i < numPaths; i++ {
 		paths = paths.Sample("path", sweep.Path(i).String(), s.paths[i].Load())
 	}
-	out := []obs.PromMetric{req, errs, secs, paths,
+	out := []obs.PromMetric{req, errs, secs, hist, paths,
 		obs.Gauge("ivmserved_cache_seeded_records",
 			"Store records seeded into the in-RAM cache at start.", float64(s.seeded))}
 	if s.store != nil {
@@ -232,6 +367,14 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)}) //nolint:errcheck // client gone
 }
 
+// The serving layer's own span names: the engine records gate,
+// canonicalise, cache-probe and simulate (sweep.SpanGate etc); decode
+// and encode bracket them with the HTTP-side work.
+const (
+	spanDecode = "decode"
+	spanEncode = "encode"
+)
+
 // handleBandwidth answers POST /v1/bandwidth: one SpecJSON in, one
 // ResultJSON out.
 func (s *Server) handleBandwidth(w http.ResponseWriter, r *http.Request) {
@@ -239,24 +382,33 @@ func (s *Server) handleBandwidth(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST a spec to /v1/bandwidth")
 		return
 	}
+	info := requestInfo(r)
+	ds := info.tc.Start()
 	var sj SpecJSON
 	if err := json.NewDecoder(r.Body).Decode(&sj); err != nil {
 		httpError(w, http.StatusBadRequest, "bad spec: %v", err)
 		return
 	}
 	spec, err := sj.Spec()
+	info.tc.Span(spanDecode, ds)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, err := s.eng.Resolve(spec)
+	res, err := s.eng.ResolveCtx(r.Context(), spec)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	s.countPath(res.Path)
+	info.path = res.Path.String()
+	info.theorem = res.Theorem
+	info.family = res.Family
+	info.results = 1
 	w.Header().Set("Content-Type", "application/json")
+	es := info.tc.Start()
 	json.NewEncoder(w).Encode(resultJSON(res)) //nolint:errcheck // client gone
+	info.tc.Span(spanEncode, es)
 }
 
 // handleBatch answers POST /v1/batch: up to MaxBatch specs resolved
@@ -266,6 +418,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST specs to /v1/batch")
 		return
 	}
+	info := requestInfo(r)
+	ds := info.tc.Start()
 	var req BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad batch: %v", err)
@@ -288,7 +442,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		specs[i] = spec
 	}
-	results, err := s.eng.ResolveBatch(specs)
+	info.tc.Span(spanDecode, ds)
+	results, err := s.eng.ResolveBatchCtx(r.Context(), specs)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -299,8 +454,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i] = resultJSON(res)
 		resp.Paths[res.Path.String()]++
 	}
+	info.results = len(results)
+	info.path = dominantPath(resp.Paths)
 	w.Header().Set("Content-Type", "application/json")
+	es := info.tc.Start()
 	json.NewEncoder(w).Encode(resp) //nolint:errcheck // client gone
+	info.tc.Span(spanEncode, es)
+}
+
+// dominantPath picks the most common answer path of a batch for the
+// access log's one-line attribution (ties break lexically for
+// determinism).
+func dominantPath(paths map[string]int) string {
+	best, bestN := "", -1
+	for p, n := range paths {
+		if n > bestN || (n == bestN && p < best) {
+			best, bestN = p, n
+		}
+	}
+	return best
 }
 
 // handleSweep answers GET /v1/sweep: a start sweep of one stride pair
@@ -400,19 +572,43 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "sweep: %d banks", m)
 		return
 	}
-	results, err := s.eng.ResolveBatch(specs)
+	info := requestInfo(r)
+	results, err := s.eng.ResolveBatchCtx(r.Context(), specs)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	info.results = len(results)
+	if len(results) > 0 {
+		info.family = results[0].Family
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	f, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	es := info.tc.Start()
 	for b2, res := range results {
 		s.countPath(res.Path)
 		if err := enc.Encode(SweepRowJSON{B2: b2, ResultJSON: resultJSON(res)}); err != nil {
 			return // client gone; rows already written stand
 		}
+		if f != nil {
+			f.Flush() // stream each row; statusWriter forwards the flush
+		}
 	}
+	info.tc.Span(spanEncode, es)
+}
+
+// handleRequestTrace serves GET /debug/requests.trace: the retained
+// recent requests as a Chrome trace_event document (the "requests"
+// process), loadable in chrome://tracing or Perfetto and greppable by
+// request ID.
+func (s *Server) handleRequestTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET /debug/requests.trace")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteRequestTrace(w, s.traces.snapshot()) //nolint:errcheck // client gone
 }
 
 // handleHealthz reports liveness plus store integrity: 200 with

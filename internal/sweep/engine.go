@@ -60,6 +60,11 @@ type Options struct {
 	// (one Add per sweep call, one Done per completed item) so a live
 	// reporter can show items/s and an ETA; nil is off and free.
 	Progress ProgressSink
+	// ItemLatency, when non-nil, receives every completed work item's
+	// wall latency in nanoseconds (obs.LatencyHist implements it), so
+	// sweeps and the serving layer can report latency distributions and
+	// quantiles, not just means; nil is off and free.
+	ItemLatency LatencySink
 	// CacheSink, when non-nil, receives one CacheRecord per simulated
 	// canonical orbit, immediately after the result enters the in-RAM
 	// cache, so a persistent store (internal/cachestore) can append it
@@ -106,6 +111,15 @@ type ProgressSink interface {
 	Add(total int64)
 	// Done marks n work items completed.
 	Done(n int64)
+}
+
+// LatencySink receives per-work-item latencies. It is implemented by
+// obs.LatencyHist; the indirection keeps internal/sweep free of an obs
+// dependency, exactly like ProgressSink. Implementations must be safe
+// for concurrent use.
+type LatencySink interface {
+	// ObserveNS records one completed item's wall latency.
+	ObserveNS(ns int64)
 }
 
 // sectionFullUnits reports whether sectioned canonicalisation may scale
@@ -492,13 +506,18 @@ func (e *Engine) run(n int, f func(w *worker, i int)) {
 	if progress != nil {
 		progress.Add(int64(n))
 	}
+	lat := e.opt.ItemLatency
 	work := func(w *worker, i int) {
 		t0 := time.Now()
 		ts := tl.Start()
 		f(w, i)
-		w.busyNS += time.Since(t0).Nanoseconds()
+		itemNS := time.Since(t0).Nanoseconds()
+		w.busyNS += itemNS
 		w.items++
 		tl.Slice(w.id, TimelineItem, ts, i, "")
+		if lat != nil {
+			lat.ObserveNS(itemNS)
+		}
 		if progress != nil {
 			progress.Done(1)
 		}
@@ -974,11 +993,29 @@ func canonCopy(vec []int, want bool) []int {
 // reporting which path resolved the placement. bw is its thin wrapper;
 // Engine.Resolve surfaces the attribution to API callers.
 func (w *worker) resolve(cs *compiledSpec, b []int, wantCanon bool) (rat.Rational, resolution) {
+	return w.resolveSpans(cs, b, wantCanon, nil)
+}
+
+// resolveSpans is resolve with an optional request-scoped span sink:
+// when sp is non-nil (a query arrived through ResolveCtx with a sink
+// on its context) the gate probe, canonicalisation, cache probe and
+// simulation phases are reported as named spans. A nil sink costs the
+// path only nil checks — the detached-span zero-allocation guard pins
+// that.
+func (w *worker) resolveSpans(cs *compiledSpec, b []int, wantCanon bool, sp SpanSink) (rat.Rational, resolution) {
 	e := w.e
 	tl := e.opt.Timeline
 	prov := e.opt.Provenance
 	if cs.gate != nil {
-		if v, ok := cs.gate.BandwidthAt(b[0], b[1]); ok {
+		var gs int64
+		if sp != nil {
+			gs = sp.Start()
+		}
+		v, ok := cs.gate.BandwidthAt(b[0], b[1])
+		if sp != nil {
+			sp.Span(SpanGate, gs)
+		}
+		if ok {
 			cs.counter.analytic.Add(1)
 			tl.Instant(w.id, TimelineAnalytic, -1, cs.family)
 			prov.Analytic(cs.family, cs.gateTheorem)
@@ -996,14 +1033,36 @@ func (w *worker) resolve(cs *compiledSpec, b []int, wantCanon bool) (rat.Rationa
 			cs.vec[i] = st.D
 		}
 		copy(cs.vec[n:], b)
+		var ss int64
+		if sp != nil {
+			ss = sp.Start()
+		}
 		bw, c := w.simulate(cs, cs.vec)
+		if sp != nil {
+			sp.Span(SpanSimulate, ss)
+		}
 		prov.Simulated(cs.family, cs.spec.M, cs.spec.S, cs.spec.NC, cs.vec, packed, c.Length, c.Lead+c.Length)
 		return bw, resolution{path: simPath, cycleLen: c.Length, clocks: c.Lead + c.Length}
 	}
 	ts := tl.Start()
+	var ks int64
+	if sp != nil {
+		ks = sp.Start()
+	}
 	key := cs.key(b)
+	if sp != nil {
+		sp.Span(SpanCanon, ks)
+	}
 	tl.Slice(w.id, TimelineCanon, ts, -1, cs.family)
-	if bw, ok := e.cache.get(key); ok {
+	var ps int64
+	if sp != nil {
+		ps = sp.Start()
+	}
+	bw, ok := e.cache.get(key)
+	if sp != nil {
+		sp.Span(SpanCacheProbe, ps)
+	}
+	if ok {
 		e.hit(cs.counter, key)
 		tl.Instant(w.id, TimelineCacheHit, -1, cs.family)
 		prov.CacheHit(cs.family, cs.spec.M, cs.spec.S, cs.spec.NC, cs.vec)
@@ -1012,7 +1071,14 @@ func (w *worker) resolve(cs *compiledSpec, b []int, wantCanon bool) (rat.Rationa
 	e.miss(cs.counter)
 	tl.Instant(w.id, TimelineCacheMiss, -1, cs.family)
 	ts = tl.Start()
+	var ss int64
+	if sp != nil {
+		ss = sp.Start()
+	}
 	bw, c := w.simulate(cs, cs.vec)
+	if sp != nil {
+		sp.Span(SpanSimulate, ss)
+	}
 	tl.Slice(w.id, TimelineSimulate, ts, -1, cs.family)
 	prov.Simulated(cs.family, cs.spec.M, cs.spec.S, cs.spec.NC, cs.vec, packed, c.Length, c.Lead+c.Length)
 	e.cache.put(key, bw)

@@ -9,6 +9,7 @@ package sweep
 // byte-identical to ivmsweep's.
 
 import (
+	"context"
 	"fmt"
 
 	"ivm/internal/rat"
@@ -68,7 +69,15 @@ func validateResolve(spec ConfigSpec) error {
 // points, invalid specs return an error instead of panicking: the
 // query layer feeds untrusted input.
 func (e *Engine) Resolve(spec ConfigSpec) (Resolution, error) {
-	out, err := e.ResolveBatch([]ConfigSpec{spec})
+	return e.ResolveCtx(context.Background(), spec)
+}
+
+// ResolveCtx is Resolve with a context: a span sink attached via
+// WithSpanSink receives the resolution's phase spans (gate,
+// canonicalise, cache-probe, simulate). The context carries only the
+// sink — resolution is not cancellable mid-answer.
+func (e *Engine) ResolveCtx(ctx context.Context, spec ConfigSpec) (Resolution, error) {
+	out, err := e.ResolveBatchCtx(ctx, []ConfigSpec{spec})
 	if err != nil {
 		return Resolution{}, err
 	}
@@ -81,18 +90,27 @@ func (e *Engine) Resolve(spec ConfigSpec) (Resolution, error) {
 // upfront — on any error nothing is resolved. Results are returned in
 // input order.
 func (e *Engine) ResolveBatch(specs []ConfigSpec) ([]Resolution, error) {
+	return e.ResolveBatchCtx(context.Background(), specs)
+}
+
+// ResolveBatchCtx is ResolveBatch with a context: a span sink attached
+// via WithSpanSink receives every item's phase spans (workers record
+// concurrently, so the sink must be concurrency-safe). A sink-free
+// context resolves identically to ResolveBatch.
+func (e *Engine) ResolveBatchCtx(ctx context.Context, specs []ConfigSpec) ([]Resolution, error) {
 	for i, spec := range specs {
 		if err := validateResolve(spec); err != nil {
 			return nil, fmt.Errorf("sweep: resolve batch item %d: %v", i, err)
 		}
 	}
+	sp := SpanSinkFrom(ctx)
 	out := make([]Resolution, len(specs))
 	e.run(len(specs), func(w *worker, i int) {
 		e.pairs.Add(1)
 		cs := w.compile(specs[i])
 		var bw rat.Rational
 		var r resolution
-		bw, r = w.resolve(cs, cs.b, true)
+		bw, r = w.resolveSpans(cs, cs.b, true, sp)
 		out[i] = Resolution{
 			BW:          bw,
 			Family:      cs.family,

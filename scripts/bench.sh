@@ -18,7 +18,11 @@
 # plus the share of stream4 orbits simulated once and never reused
 # (docs/OBSERVABILITY.md). The served block tracks the ivmserved HTTP
 # API (docs/SERVING.md): single-query req/s and batch specs/s, cold
-# versus warm cache.
+# versus warm cache. The request_observability block tracks the
+# per-item cost of the tracing seams (docs/OBSERVABILITY.md): one
+# histogram observation and the detached span path, both contractually
+# zero-alloc; their timings are context-only (sub-ns scale, too noisy
+# for the benchdiff ns_per_op gate) so the keys avoid that suffix.
 #
 # Usage: scripts/bench.sh [count]
 #   count  -benchtime iteration override, e.g. "10x" (default: 1s timed)
@@ -40,7 +44,7 @@ out="${BENCH_OUT:-BENCH_sweep.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkSweep(Sequential|Parallel|TriplesSequential|TriplesParallel|SectionsSequential|SectionsParallel|TripleCensusTranslated|NStreamParallel|AnalyticFastPath|KernelPacked|Policies|Provenance)$|BenchmarkPhaseHistogram$|BenchmarkServed(Single|Batch)$' \
+go test -run '^$' -bench 'BenchmarkSweep(Sequential|Parallel|TriplesSequential|TriplesParallel|SectionsSequential|SectionsParallel|TripleCensusTranslated|NStreamParallel|AnalyticFastPath|KernelPacked|Policies|Provenance)$|BenchmarkPhaseHistogram$|BenchmarkServed(Single|Batch)$|BenchmarkLatencyHist$|BenchmarkDetachedSpan$' \
 	-benchmem -benchtime "$benchtime" . | tee "$raw"
 
 # Benchmark lines look like:
@@ -108,13 +112,19 @@ function metric(name,   i) {
 	sb_cold = metric("cold_specs_per_s"); sb_warm = metric("warm_specs_per_s")
 	sb_hit = metric("warm_cache_hit_%")
 }
+/^BenchmarkLatencyHist/ {
+	lh_ns = metric("ns/op"); lh_allocs = metric("allocs/op")
+}
+/^BenchmarkDetachedSpan/ {
+	ds_ns = metric("ns/op"); ds_allocs = metric("allocs/op")
+}
 /^BenchmarkPhaseHistogram/ {
 	ph_grants = metric("grants"); ph_bank = metric("bank_conflicts")
 	ph_sim = metric("simultaneous_conflicts"); ph_sec = metric("section_conflicts")
 	ph_cycle = metric("cycle_clocks")
 }
 END {
-	if (seq_ns == "" || par_ns == "" || t_par_ns == "" || s_par_ns == "" || c_base == "" || ns_hit == "" || ph_grants == "" || a_ns == "" || k_ns == "" || po_ns == "" || pr_ns == "" || sv_ns == "" || sb_cold == "") {
+	if (seq_ns == "" || par_ns == "" || t_par_ns == "" || s_par_ns == "" || c_base == "" || ns_hit == "" || ph_grants == "" || a_ns == "" || k_ns == "" || po_ns == "" || pr_ns == "" || sv_ns == "" || sb_cold == "" || lh_ns == "" || ds_ns == "") {
 		print "bench.sh: missing benchmark output" > "/dev/stderr"; exit 1
 	}
 	printf "{\n"
@@ -184,6 +194,11 @@ END {
 	printf "      \"warm_specs_per_s\": %s,\n", sb_warm
 	printf "      \"warm_cache_hit_rate_percent\": %s\n", sb_hit
 	printf "    }\n"
+	printf "  },\n"
+	printf "  \"request_observability\": {\n"
+	printf "    \"census\": \"hot-path instrumentation: one histogram observation, one detached span; timings context-only\",\n"
+	printf "    \"latency_hist_observe\": {\"observe_ns\": %s, \"allocs_per_op\": %s},\n", lh_ns, lh_allocs
+	printf "    \"detached_span\": {\"span_ns\": %s, \"allocs_per_op\": %s}\n", ds_ns, ds_allocs
 	printf "  },\n"
 	printf "  \"conflict_composition\": {\n"
 	printf "    \"config\": \"fig3 barrier m=13 nc=6 d1=1 d2=6\",\n"

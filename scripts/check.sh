@@ -11,11 +11,14 @@
 # fast path forced both on and off. A single-iteration bench.sh run
 # is then diffed against the committed BENCH_sweep.json by
 # scripts/benchdiff.go, gating on catastrophic timing regressions.
-# Two live probes close the run:
+# Live probes close the run:
 # ivmsweep serving -metrics-addr on a loopback port is scraped over
 # HTTP, pinning the Prometheus exposition format end to end
-# (docs/OBSERVABILITY.md), and ivmserved answers a known analytic pair
-# with byte-pinned JSON plus a healthy /healthz (docs/SERVING.md).
+# (docs/OBSERVABILITY.md); ivmserved answers a known analytic pair
+# with byte-pinned JSON plus a healthy /healthz (docs/SERVING.md); and
+# a request tagged with a fixed X-Request-ID is followed end to end
+# through the access log, the Chrome trace export and the
+# request-duration histogram (docs/SERVING.md).
 #
 # Golden files: the exporter tests in internal/obs compare against
 # testdata/; after an intentional output change, regenerate with
@@ -37,7 +40,9 @@ if [ "$#" -eq 0 ]; then
 	set -- ./...
 fi
 
-go vet "$@"
+# vet always covers the whole module, even for narrowed test runs —
+# a narrow run must not let an unrelated package rot.
+go vet ./...
 
 # docs step: every exported identifier in the audited packages must
 # carry a doc comment, and every relative Markdown link must resolve.
@@ -138,6 +143,7 @@ echo "check.sh: live /metrics and /healthz probes OK (http://$addr)"
 # store.
 go build -o "$tmp/ivmserved" ./cmd/ivmserved
 "$tmp/ivmserved" -addr 127.0.0.1:0 -cache-dir "$tmp/cache" \
+	-access-log "$tmp/access.log" -slow-ms 0 \
 	2> "$tmp/served-stderr" &
 srv=$!
 addr=""
@@ -171,7 +177,67 @@ if ! curl -fsS "http://$addr/metrics" | grep -q '^ivmserved_requests_total{endpo
 	echo "check.sh: ivmserved /metrics missing the bandwidth request counter" >&2
 	exit 1
 fi
+
+# Live observability probe (docs/SERVING.md): a request tagged with a
+# fixed X-Request-ID must echo the ID, surface in the structured
+# access log and the exported Chrome trace, and land in the
+# request-duration histogram with _count equal to the bandwidth
+# requests served so far (the pinned request above plus this one).
+rid="check-sh-trace-0001"
+echoed="$(curl -fsS -D - -o "$tmp/rid-body" -X POST -H 'Content-Type: application/json' \
+	-H "X-Request-ID: $rid" -d "$body" "http://$addr/v1/bandwidth" |
+	tr -d '\r' | sed -n 's/^[Xx]-[Rr]equest-[Ii][Dd]: //p')"
+if [ "$echoed" != "$rid" ]; then
+	echo "check.sh: X-Request-ID not echoed: got \"$echoed\", want \"$rid\"" >&2
+	exit 1
+fi
+if [ "$(cat "$tmp/rid-body")" != "$want" ]; then
+	echo "check.sh: traced /v1/bandwidth answer drifted: $(cat "$tmp/rid-body")" >&2
+	exit 1
+fi
+# The access log line is written after the handler returns, so the
+# client can observe the response a beat before the line lands.
+logged=""
+for _ in $(seq 1 100); do
+	if grep -q "$rid" "$tmp/access.log" 2>/dev/null; then
+		logged=yes
+		break
+	fi
+	sleep 0.1
+done
+if [ -z "$logged" ]; then
+	echo "check.sh: request ID $rid never appeared in the access log" >&2
+	cat "$tmp/access.log" >&2 || true
+	exit 1
+fi
+if ! grep "$rid" "$tmp/access.log" | grep -q '"path":"analytic"'; then
+	echo "check.sh: access log line for $rid lacks the analytic path attribution" >&2
+	grep "$rid" "$tmp/access.log" >&2
+	exit 1
+fi
+if ! curl -fsS "http://$addr/debug/requests.trace" | grep -q "$rid"; then
+	echo "check.sh: request ID $rid not found in the exported Chrome trace" >&2
+	exit 1
+fi
+metrics="$(curl -fsS "http://$addr/metrics")"
+if ! printf '%s\n' "$metrics" | grep -q '^ivmserved_request_duration_seconds_bucket{endpoint="bandwidth",le="'; then
+	echo "check.sh: /metrics missing request-duration histogram buckets" >&2
+	exit 1
+fi
+if ! printf '%s\n' "$metrics" | grep -q '^ivmserved_request_duration_seconds_count{endpoint="bandwidth"} 2$'; then
+	echo "check.sh: request-duration histogram _count != 2 bandwidth requests served" >&2
+	printf '%s\n' "$metrics" | grep '^ivmserved_request_duration_seconds_count' >&2 || true
+	exit 1
+fi
+if ! printf '%s\n' "$metrics" | grep -q '^ivmserved_request_seconds_total{endpoint="bandwidth"}'; then
+	echo "check.sh: legacy ivmserved_request_seconds_total counter dropped" >&2
+	exit 1
+fi
+if ! curl -fsS "http://$addr/statusz" | grep -q 'ivmserved status'; then
+	echo "check.sh: /statusz did not render" >&2
+	exit 1
+fi
 kill "$srv" 2>/dev/null || true
 wait "$srv" 2>/dev/null || true
 srv=""
-echo "check.sh: live ivmserved probe OK (http://$addr)"
+echo "check.sh: live ivmserved probe OK, trace $rid followed through log, trace export and histogram (http://$addr)"
